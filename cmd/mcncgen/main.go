@@ -1,0 +1,57 @@
+// Command mcncgen materialises the synthetic MCNC stand-in suite as BLIF
+// files, so the benchmarks can be inspected, diffed, or fed to other tools.
+//
+// Usage:
+//
+//	mcncgen -dir benchmarks [-only C880,des]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dualvdd/internal/blif"
+	"dualvdd/internal/mcnc"
+)
+
+func main() {
+	dir := flag.String("dir", "benchmarks", "output directory")
+	only := flag.String("only", "", "comma-separated subset of circuit names")
+	flag.Parse()
+
+	names := mcnc.Names()
+	if *only != "" {
+		names = strings.Split(*only, ",")
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fatal(err)
+	}
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		net, err := mcnc.Generate(name)
+		if err != nil {
+			fatal(err)
+		}
+		path := filepath.Join(*dir, name+".blif")
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := blif.WriteNetwork(f, net); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-10s -> %s (%d PIs, %d nodes, %d POs)\n",
+			name, path, len(net.PIs), net.NumLiveNodes(), len(net.POs))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcncgen:", err)
+	os.Exit(1)
+}

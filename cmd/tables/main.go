@@ -1,0 +1,75 @@
+// Command tables regenerates the paper's evaluation: Table 1 (power
+// improvement of CVS / Dscale / Gscale over the single-supply original) and
+// Table 2 (low-voltage gate profiles and sizing overhead) across the
+// 39-circuit MCNC stand-in suite, printing the published numbers alongside.
+//
+// Usage:
+//
+//	tables [-table 1|2|all] [-circuits name,name,...] [-markdown] [-check]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dualvdd"
+	"dualvdd/internal/harness"
+	"dualvdd/internal/report"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to print: 1, 2 or all")
+	circuits := flag.String("circuits", "", "comma-separated circuit subset (default: all 39)")
+	markdown := flag.Bool("markdown", false, "emit Markdown (for EXPERIMENTS.md)")
+	check := flag.Bool("check", false, "run trend-shape assertions against the paper's claims")
+	flag.Parse()
+
+	cfg := dualvdd.DefaultConfig()
+	names := dualvdd.Benchmarks()
+	if *circuits != "" {
+		names = strings.Split(*circuits, ",")
+	}
+	var rows []report.Row
+	for _, name := range names {
+		row, err := harness.Run(strings.TrimSpace(name), cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tables: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "done %s\n", row)
+		rows = append(rows, row)
+	}
+
+	if *markdown {
+		if err := report.WriteMarkdown(os.Stdout, rows); err != nil {
+			fmt.Fprintln(os.Stderr, "tables:", err)
+			os.Exit(1)
+		}
+	} else {
+		if *table == "1" || *table == "all" {
+			if err := report.WriteTable1(os.Stdout, rows); err != nil {
+				fmt.Fprintln(os.Stderr, "tables:", err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+		if *table == "2" || *table == "all" {
+			if err := report.WriteTable2(os.Stdout, rows); err != nil {
+				fmt.Fprintln(os.Stderr, "tables:", err)
+				os.Exit(1)
+			}
+		}
+	}
+	if *check {
+		fails := report.ShapeChecks(rows)
+		for _, f := range fails {
+			fmt.Fprintln(os.Stderr, "SHAPE CHECK FAILED:", f)
+		}
+		if len(fails) > 0 {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "all trend-shape checks hold")
+	}
+}

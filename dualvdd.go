@@ -1,0 +1,249 @@
+// Package dualvdd is the public entry point of this reproduction of
+// "Gate-Level Design Exploiting Dual Supply Voltages for Power-Driven
+// Applications" (Yeh, Chang, Chang, Jone — DAC 1999). It wires the substrate
+// packages (cell library, technology mapper, static timing, random-vector
+// power estimation) into the paper's experimental flow and exposes the three
+// scaling algorithms:
+//
+//	CVS    — clustered voltage scaling (the Usami–Horowitz baseline),
+//	Dscale — slack harvesting with a maximum-weight independent set,
+//	Gscale — slack creation by separator-cut gate sizing.
+//
+// See internal/core for the algorithmics and DESIGN.md for the full map
+// from the paper to this repository.
+//
+// Typical use:
+//
+//	cfg := dualvdd.DefaultConfig()
+//	d, err := dualvdd.PrepareBenchmark("C880", cfg)
+//	res, err := d.RunGscale()
+//	fmt.Printf("%.2f%% power saved\n", res.ImprovePct)
+package dualvdd
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"dualvdd/internal/blif"
+	"dualvdd/internal/cell"
+	"dualvdd/internal/core"
+	"dualvdd/internal/logic"
+	"dualvdd/internal/mapper"
+	"dualvdd/internal/mcnc"
+	"dualvdd/internal/netlist"
+	"dualvdd/internal/power"
+	"dualvdd/internal/sta"
+)
+
+// Config collects every knob of the paper's evaluation setup; DefaultConfig
+// reproduces the published numbers' conditions.
+type Config struct {
+	// Vhigh, Vlow are the two supply rails; the paper uses (5, 4.3) "in
+	// accordance with our internal design project".
+	Vhigh, Vlow float64
+	// SlackFactor loosens the timing constraint over the minimum-delay
+	// mapping (1.2 = the paper's 20%).
+	SlackFactor float64
+	// MaxAreaIncrease is Gscale's area budget (0.10 in the paper).
+	MaxAreaIncrease float64
+	// MaxIter is Gscale's unsuccessful-push bound (10 in the paper).
+	MaxIter int
+	// SimWords is the number of 64-vector words for power estimation.
+	SimWords int
+	// Seed drives the random simulation.
+	Seed uint64
+	// Fclk is the power-estimation clock (20 MHz in the paper).
+	Fclk float64
+	// GreedySelect and GreedySizing swap the paper's combinatorial
+	// formulations (MWIS selection in Dscale, separator-cut sizing in
+	// Gscale) for greedy baselines. They exist for the ablation benchmarks.
+	GreedySelect bool
+	GreedySizing bool
+}
+
+// DefaultConfig returns the paper's parameters.
+func DefaultConfig() Config {
+	return Config{
+		Vhigh:           5.0,
+		Vlow:            4.3,
+		SlackFactor:     1.2,
+		MaxAreaIncrease: 0.10,
+		MaxIter:         10,
+		SimWords:        256,
+		Seed:            1,
+		Fclk:            power.DefaultClock,
+	}
+}
+
+// Design is a prepared benchmark: mapped against the dual-voltage library
+// with its critical path sitting at the timing constraint, ready for the
+// scaling algorithms.
+type Design struct {
+	// Name is the circuit name.
+	Name string
+	// Lib is the dual-voltage cell library in use.
+	Lib *cell.Library
+	// Circuit is the mapped netlist, entirely at Vhigh. Runs operate on
+	// clones; Circuit itself stays pristine.
+	Circuit *netlist.Circuit
+	// MinDelay is the minimum-delay mapping's critical path (ns); Tspec is
+	// the constraint handed to the algorithms — the relaxed, area-recovered
+	// mapping's own critical path, per the paper's setup.
+	MinDelay float64
+	Tspec    float64
+	// OrgPower is the power of the unscaled circuit in watts (Table 1's
+	// OrgPwr column).
+	OrgPower float64
+
+	cfg Config
+}
+
+// Prepare maps a logic network and measures its original power.
+func Prepare(net *logic.Network, cfg Config) (*Design, error) {
+	lib := cell.Compass06At(cfg.Vhigh, cfg.Vlow)
+	mopts := mapper.DefaultOptions()
+	mopts.SlackFactor = cfg.SlackFactor
+	res, err := mapper.Map(net, lib, mopts)
+	if err != nil {
+		return nil, fmt.Errorf("dualvdd: mapping %s: %w", net.Name, err)
+	}
+	d := &Design{
+		Name:     net.Name,
+		Lib:      lib,
+		Circuit:  res.Circuit,
+		MinDelay: res.MinDelay,
+		Tspec:    res.Tspec,
+		cfg:      cfg,
+	}
+	pb, _, err := power.EstimateRandom(res.Circuit, lib, cfg.SimWords, cfg.Seed, cfg.Fclk)
+	if err != nil {
+		return nil, err
+	}
+	d.OrgPower = pb.Total
+	return d, nil
+}
+
+// PrepareBenchmark generates one of the 39 MCNC stand-in benchmarks and
+// prepares it.
+func PrepareBenchmark(name string, cfg Config) (*Design, error) {
+	net, err := mcnc.Generate(name)
+	if err != nil {
+		return nil, err
+	}
+	return Prepare(net, cfg)
+}
+
+// LoadBLIF reads a technology-independent BLIF model and prepares it.
+func LoadBLIF(r io.Reader, cfg Config) (*Design, error) {
+	net, err := blif.ParseNetwork(r)
+	if err != nil {
+		return nil, err
+	}
+	return Prepare(net, cfg)
+}
+
+// Benchmarks lists the 39 circuit names of the paper's test bed.
+func Benchmarks() []string { return mcnc.Names() }
+
+// FlowResult reports one scaling run.
+type FlowResult struct {
+	// Algorithm is "CVS", "Dscale" or "Gscale".
+	Algorithm string
+	// Power is the post-scaling total power in watts; ImprovePct the
+	// percentage improvement over the design's OrgPower (Table 1).
+	Power      float64
+	ImprovePct float64
+	// Gates counts live ordinary gates, LowGates those at Vlow, LCs the
+	// level converters, Sized the gates Gscale resized (Table 2).
+	Gates    int
+	LowGates int
+	LCs      int
+	Sized    int
+	// LowRatio = LowGates/Gates, AreaIncrease the relative area growth.
+	LowRatio     float64
+	AreaIncrease float64
+	// Runtime is the wall-clock time of the algorithm itself.
+	Runtime time.Duration
+	// Circuit is the scaled clone, for inspection or BLIF export.
+	Circuit *netlist.Circuit
+}
+
+// coreOptions converts the config for internal/core.
+func (d *Design) coreOptions() core.Options {
+	o := core.DefaultOptions(d.Tspec)
+	o.MaxIter = d.cfg.MaxIter
+	o.MaxAreaIncrease = d.cfg.MaxAreaIncrease
+	o.SimWords = d.cfg.SimWords
+	o.Seed = d.cfg.Seed
+	o.Fclk = d.cfg.Fclk
+	o.GreedySelect = d.cfg.GreedySelect
+	o.GreedySizing = d.cfg.GreedySizing
+	return o
+}
+
+func (d *Design) run(name string, algo func(*netlist.Circuit, *cell.Library, core.Options) (*core.Result, error)) (*FlowResult, error) {
+	ckt := d.Circuit.Clone()
+	start := time.Now()
+	cres, err := algo(ckt, d.Lib, d.coreOptions())
+	if err != nil {
+		return nil, fmt.Errorf("dualvdd: %s on %s: %w", name, d.Name, err)
+	}
+	elapsed := time.Since(start)
+	// The constraint must hold after every algorithm — verify, don't trust.
+	t, err := sta.Analyze(ckt, d.Lib, d.Tspec)
+	if err != nil {
+		return nil, err
+	}
+	if !t.Meets(1e-6) {
+		return nil, fmt.Errorf("dualvdd: %s on %s violated timing: %.4f > %.4f",
+			name, d.Name, t.WorstArrival, d.Tspec)
+	}
+	pb, _, err := power.EstimateRandom(ckt, d.Lib, d.cfg.SimWords, d.cfg.Seed, d.cfg.Fclk)
+	if err != nil {
+		return nil, err
+	}
+	gates := 0
+	for _, g := range ckt.Gates {
+		if !g.Dead && !g.IsLC {
+			gates++
+		}
+	}
+	fr := &FlowResult{
+		Algorithm:    name,
+		Power:        pb.Total,
+		ImprovePct:   (d.OrgPower - pb.Total) / d.OrgPower * 100,
+		Gates:        gates,
+		LowGates:     ckt.NumLowGates(),
+		LCs:          ckt.NumLCs(),
+		Sized:        cres.Sized,
+		AreaIncrease: ckt.Area()/d.Circuit.Area() - 1,
+		Runtime:      elapsed,
+		Circuit:      ckt,
+	}
+	if gates > 0 {
+		fr.LowRatio = float64(fr.LowGates) / float64(gates)
+	}
+	return fr, nil
+}
+
+// RunCVS applies clustered voltage scaling to a clone of the design.
+func (d *Design) RunCVS() (*FlowResult, error) {
+	return d.run("CVS", core.RunCVS)
+}
+
+// RunDscale applies the paper's Dscale algorithm to a clone of the design.
+func (d *Design) RunDscale() (*FlowResult, error) {
+	return d.run("Dscale", core.Dscale)
+}
+
+// RunGscale applies the paper's Gscale algorithm to a clone of the design.
+func (d *Design) RunGscale() (*FlowResult, error) {
+	return d.run("Gscale", core.Gscale)
+}
+
+// WriteBLIF exports a mapped (possibly scaled) circuit as .gate-form BLIF
+// with ".volt" annotations.
+func WriteBLIF(w io.Writer, ckt *netlist.Circuit) error {
+	return blif.WriteCircuit(w, ckt)
+}

@@ -1,0 +1,37 @@
+// voltsweep explores the choice the paper fixes at (5 V, 4.3 V): sweeping
+// Vlow shows the tension equation (1) creates — a lower rail saves
+// quadratically more per gate, but its delay penalty shrinks the set of
+// gates that can take it, so realised savings peak somewhere in between.
+//
+//	go run ./examples/voltsweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dualvdd"
+)
+
+func main() {
+	fmt.Println("Gscale on C880 across low-rail choices (Vhigh = 5.0 V):")
+	fmt.Printf("%6s %12s %10s %10s %10s\n", "Vlow", "ideal-max%", "saved%", "lowRatio", "sized")
+	for _, vlow := range []float64{4.7, 4.5, 4.3, 4.1, 3.9, 3.7, 3.5} {
+		cfg := dualvdd.DefaultConfig()
+		cfg.Vlow = vlow
+		d, err := dualvdd.PrepareBenchmark("C880", cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := d.RunGscale()
+		if err != nil {
+			log.Fatal(err)
+		}
+		ideal := (1 - (vlow*vlow)/(5.0*5.0)) * 100 // all gates low, no overheads
+		fmt.Printf("%6.1f %11.1f%% %9.2f%% %10.2f %10d\n",
+			vlow, ideal, res.ImprovePct, res.LowRatio, res.Sized)
+	}
+	fmt.Println("\nThe quadratic ceiling rises as Vlow drops, but the delay")
+	fmt.Println("penalty eats the eligible-gate ratio — the paper's 4.3 V sits")
+	fmt.Println("near the sweet spot for this library.")
+}

@@ -1,0 +1,244 @@
+package blif
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"dualvdd/internal/logic"
+)
+
+// ParseNetwork reads a technology-independent BLIF model (.names form) into
+// a logic.Network.
+func ParseNetwork(r io.Reader) (*logic.Network, error) {
+	stmts, err := lex(r)
+	if err != nil {
+		return nil, err
+	}
+	m, err := parseModel(stmts)
+	if err != nil {
+		return nil, err
+	}
+	if len(m.gates) > 0 {
+		return nil, fmt.Errorf("blif: model %s is mapped (.gate form); use ParseCircuit", m.name)
+	}
+	net := logic.New(m.name)
+	sig := make(map[string]logic.Signal)
+	for _, in := range m.inputs {
+		if _, dup := sig[in]; dup {
+			return nil, fmt.Errorf("blif: duplicate input %s", in)
+		}
+		sig[in] = net.AddPI(in)
+	}
+
+	// First pass: allocate node signals so forward references resolve.
+	type pending struct {
+		nb       namesBlock
+		inverted bool // cover written on the off-set (output column 0)
+	}
+	var pend []pending
+	for _, nb := range m.names {
+		out := nb.signals[len(nb.signals)-1]
+		if _, dup := sig[out]; dup {
+			return nil, fmt.Errorf("blif: line %d: signal %s defined twice", nb.line, out)
+		}
+		inverted, err := coverPolarity(nb)
+		if err != nil {
+			return nil, err
+		}
+		if inverted {
+			// name$on carries the on-set of the complement; name inverts it.
+			inner := out + "$off"
+			sig[inner] = net.AddNode(inner, nil, nil)
+			sig[out] = net.AddNode(out, nil, nil)
+			pend = append(pend, pending{nb: nb, inverted: true})
+			continue
+		}
+		sig[out] = net.AddNode(out, nil, nil)
+		pend = append(pend, pending{nb: nb})
+	}
+
+	// Second pass: fill fanins and covers.
+	for _, p := range pend {
+		nb := p.nb
+		out := nb.signals[len(nb.signals)-1]
+		fanin := make([]logic.Signal, len(nb.signals)-1)
+		for i, name := range nb.signals[:len(nb.signals)-1] {
+			s, ok := sig[name]
+			if !ok {
+				return nil, fmt.Errorf("blif: line %d: node %s uses undefined signal %s", nb.line, out, name)
+			}
+			fanin[i] = s
+		}
+		cubes, err := parseCover(nb, len(fanin))
+		if err != nil {
+			return nil, err
+		}
+		if p.inverted {
+			inner := net.NodeOf(sig[out+"$off"])
+			inner.Fanin = fanin
+			inner.Cubes = cubes
+			outer := net.NodeOf(sig[out])
+			outer.Fanin = []logic.Signal{sig[out+"$off"]}
+			outer.Cubes = []logic.Cube{"0"}
+			continue
+		}
+		nd := net.NodeOf(sig[out])
+		nd.Fanin = fanin
+		nd.Cubes = cubes
+	}
+
+	for _, out := range m.outputs {
+		s, ok := sig[out]
+		if !ok {
+			return nil, fmt.Errorf("blif: output %s is never defined", out)
+		}
+		net.AddPO(out, s)
+	}
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	return net, nil
+}
+
+// coverPolarity inspects the output column of a cover: all '1' (on-set,
+// normal), all '0' (off-set, inverted) or mixed (illegal).
+func coverPolarity(nb namesBlock) (inverted bool, err error) {
+	nin := len(nb.signals) - 1
+	ones, zeros := 0, 0
+	for _, row := range nb.cover {
+		f := strings.Fields(row)
+		switch {
+		case nin == 0 && len(f) == 1:
+			if f[0] == "1" {
+				ones++
+			} else {
+				zeros++
+			}
+		case len(f) == 2:
+			if f[1] == "1" {
+				ones++
+			} else {
+				zeros++
+			}
+		default:
+			return false, fmt.Errorf("blif: line %d: malformed cover row %q", nb.line, row)
+		}
+	}
+	if ones > 0 && zeros > 0 {
+		return false, fmt.Errorf("blif: line %d: cover mixes on-set and off-set rows", nb.line)
+	}
+	return zeros > 0, nil
+}
+
+// parseCover converts raw cover rows to cubes.
+func parseCover(nb namesBlock, nin int) ([]logic.Cube, error) {
+	var cubes []logic.Cube
+	for _, row := range nb.cover {
+		f := strings.Fields(row)
+		var pat string
+		if nin == 0 {
+			pat = ""
+		} else {
+			pat = f[0]
+		}
+		if len(pat) != nin {
+			return nil, fmt.Errorf("blif: line %d: cover row %q has %d columns for %d inputs",
+				nb.line, row, len(pat), nin)
+		}
+		for _, ch := range pat {
+			if ch != '0' && ch != '1' && ch != '-' {
+				return nil, fmt.Errorf("blif: line %d: illegal cover character %q", nb.line, ch)
+			}
+		}
+		cubes = append(cubes, logic.Cube(pat))
+	}
+	return cubes, nil
+}
+
+// WriteNetwork emits a logic.Network as .names-form BLIF. Dead nodes are
+// skipped. Output is deterministic.
+func WriteNetwork(w io.Writer, n *logic.Network) error {
+	bw := &errWriter{w: w}
+	bw.printf(".model %s\n", n.Name)
+	writeNameList(bw, ".inputs", n.PIs)
+	poNames := make([]string, len(n.POs))
+	for i, po := range n.POs {
+		poNames[i] = po.Name
+	}
+	writeNameList(bw, ".outputs", poNames)
+
+	// A PO whose name differs from its source signal needs a buffer alias.
+	aliases := map[string]string{}
+	for _, po := range n.POs {
+		src := n.SignalName(po.Src)
+		if src != po.Name {
+			aliases[po.Name] = src
+		}
+	}
+	order, err := n.TopoOrder()
+	if err != nil {
+		return err
+	}
+	for _, k := range order {
+		nd := n.Nodes[k]
+		names := make([]string, 0, len(nd.Fanin)+1)
+		for _, s := range nd.Fanin {
+			names = append(names, n.SignalName(s))
+		}
+		names = append(names, nd.Name)
+		bw.printf(".names %s\n", strings.Join(names, " "))
+		for _, c := range nd.Cubes {
+			if len(nd.Fanin) == 0 {
+				bw.printf("1\n")
+				continue
+			}
+			bw.printf("%s 1\n", string(c))
+		}
+	}
+	alNames := make([]string, 0, len(aliases))
+	for a := range aliases {
+		alNames = append(alNames, a)
+	}
+	sort.Strings(alNames)
+	for _, a := range alNames {
+		bw.printf(".names %s %s\n1 1\n", aliases[a], a)
+	}
+	bw.printf(".end\n")
+	return bw.err
+}
+
+func writeNameList(bw *errWriter, directive string, names []string) {
+	const perLine = 10
+	for i := 0; i < len(names); i += perLine {
+		end := i + perLine
+		if end > len(names) {
+			end = len(names)
+		}
+		cont := " \\"
+		if end == len(names) {
+			cont = ""
+		}
+		if i == 0 {
+			bw.printf("%s %s%s\n", directive, strings.Join(names[i:end], " "), cont)
+		} else {
+			bw.printf("  %s%s\n", strings.Join(names[i:end], " "), cont)
+		}
+	}
+	if len(names) == 0 {
+		bw.printf("%s\n", directive)
+	}
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

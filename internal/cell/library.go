@@ -1,0 +1,234 @@
+package cell
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// VoltLevel selects which of the two supply rails powers a gate instance.
+type VoltLevel int
+
+const (
+	// VHigh is the nominal supply (5 V in the paper's setup).
+	VHigh VoltLevel = iota
+	// VLow is the reduced supply (4.3 V in the paper's setup).
+	VLow
+)
+
+// String returns "Vhigh" or "Vlow".
+func (v VoltLevel) String() string {
+	if v == VLow {
+		return "Vlow"
+	}
+	return "Vhigh"
+}
+
+// Cell is one sized library cell. Delay follows the pin-to-pin Elmore-style
+// model the paper's evaluation uses: delay(pin→out) = Intrinsic[pin] +
+// Drive·Cload, scaled by the voltage derating factor of the instance's rail.
+type Cell struct {
+	// Name is the library cell name, e.g. "NAND2_d1".
+	Name string
+	// Function is the boolean function of the cell.
+	Function Func
+	// Size is the drive-size index: 0 (d0), 1 (d1) or 2 (d2).
+	Size int
+	// Area is the layout area in cell-grid units.
+	Area float64
+	// InputCap is the input pin capacitance in pF, one entry per pin.
+	InputCap []float64
+	// Intrinsic is the pin-to-pin intrinsic delay in ns, one entry per pin.
+	Intrinsic []float64
+	// Drive is the output drive resistance in ns/pF.
+	Drive float64
+	// InternalCap models internal switching energy as an equivalent
+	// capacitance in pF charged once per output transition.
+	InternalCap float64
+}
+
+// Delay returns the pin-to-pin delay in ns from input pin to output for a
+// given output load (pF) and voltage derating factor (1.0 at Vhigh).
+func (c *Cell) Delay(pin int, load, derate float64) float64 {
+	return (c.Intrinsic[pin] + c.Drive*load) * derate
+}
+
+// MaxDelay returns the worst pin-to-pin delay for the load and derating.
+func (c *Cell) MaxDelay(load, derate float64) float64 {
+	worst := 0.0
+	for pin := range c.Intrinsic {
+		if d := c.Delay(pin, load, derate); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// NumInputs returns the number of input pins.
+func (c *Cell) NumInputs() int { return len(c.InputCap) }
+
+// PinName returns the conventional formal pin name used by the BLIF .gate
+// reader/writer: inputs are "A".."D", the output is "O".
+func PinName(pin int) string { return string(rune('A' + pin)) }
+
+// Library is a characterised dual-voltage cell library. It owns the cells,
+// the two supply values, and the derating model that stands in for the
+// paper's SPICE characterisation of the low-voltage cell copies.
+type Library struct {
+	// Name identifies the library ("compass06" for the default).
+	Name string
+	// Vhigh and Vlow are the two supply voltages in volts.
+	Vhigh, Vlow float64
+	// Vt is the threshold voltage and Alpha the velocity-saturation exponent
+	// of the alpha-power-law delay model delay ∝ Vdd/(Vdd−Vt)^Alpha.
+	Vt, Alpha float64
+	// WireCapPerFanout is the estimated routing capacitance in pF added to a
+	// net's load for each fanout connection.
+	WireCapPerFanout float64
+	// POLoadCap is the capacitance in pF presented by a primary output.
+	POLoadCap float64
+	// LCStaticPower is the standing power in watts charged for each level
+	// converter, modelling the DC component of the restoration circuitry.
+	LCStaticPower float64
+
+	// Cells lists every cell. The slice is never mutated after construction.
+	Cells []*Cell
+
+	byFunc map[Func][]*Cell // per function, sorted by Size ascending
+	byName map[string]*Cell
+	lconv  *Cell
+	derate float64
+}
+
+// voltageFactor is the alpha-power-law delay factor Vdd/(Vdd−Vt)^Alpha.
+func voltageFactor(vdd, vt, alpha float64) float64 {
+	return vdd / math.Pow(vdd-vt, alpha)
+}
+
+// NewLibrary assembles a library from a cell list and electrical parameters,
+// wiring up the per-function and per-name indices. The cell list must contain
+// exactly one FLCONV cell.
+func NewLibrary(name string, cells []*Cell, vhigh, vlow, vt, alpha float64) (*Library, error) {
+	lib := &Library{
+		Name:             name,
+		Vhigh:            vhigh,
+		Vlow:             vlow,
+		Vt:               vt,
+		Alpha:            alpha,
+		WireCapPerFanout: 0.0004,
+		POLoadCap:        0.008,
+		LCStaticPower:    0.003e-6,
+		Cells:            cells,
+		byFunc:           make(map[Func][]*Cell),
+		byName:           make(map[string]*Cell),
+	}
+	if vlow >= vhigh {
+		return nil, fmt.Errorf("cell: Vlow %.2f must be below Vhigh %.2f", vlow, vhigh)
+	}
+	if vlow <= vt {
+		return nil, fmt.Errorf("cell: Vlow %.2f must exceed Vt %.2f", vlow, vt)
+	}
+	for _, c := range cells {
+		if len(c.InputCap) != c.Function.NumInputs() || len(c.Intrinsic) != c.Function.NumInputs() {
+			return nil, fmt.Errorf("cell: %s has %d caps/%d intrinsics for %d-input function %s",
+				c.Name, len(c.InputCap), len(c.Intrinsic), c.Function.NumInputs(), c.Function)
+		}
+		if _, dup := lib.byName[c.Name]; dup {
+			return nil, fmt.Errorf("cell: duplicate cell name %s", c.Name)
+		}
+		lib.byName[c.Name] = c
+		lib.byFunc[c.Function] = append(lib.byFunc[c.Function], c)
+		if c.Function == FLCONV {
+			lib.lconv = c
+		}
+	}
+	for _, cs := range lib.byFunc {
+		sort.Slice(cs, func(i, j int) bool { return cs[i].Size < cs[j].Size })
+	}
+	if lib.lconv == nil {
+		return nil, fmt.Errorf("cell: library %s has no level converter (FLCONV) cell", name)
+	}
+	lib.derate = voltageFactor(vlow, vt, alpha) / voltageFactor(vhigh, vt, alpha)
+	return lib, nil
+}
+
+// LowDerate returns the delay multiplier applied to cells powered at Vlow.
+// It is strictly greater than 1: low-voltage gates are slower.
+func (l *Library) LowDerate() float64 { return l.derate }
+
+// Derate returns the delay multiplier for a voltage level (1.0 at VHigh).
+func (l *Library) Derate(v VoltLevel) float64 {
+	if v == VLow {
+		return l.derate
+	}
+	return 1.0
+}
+
+// VddOf returns the rail voltage of a level.
+func (l *Library) VddOf(v VoltLevel) float64 {
+	if v == VLow {
+		return l.Vlow
+	}
+	return l.Vhigh
+}
+
+// PowerRatio returns (Vlow/Vhigh)², the per-gate switching power ratio that
+// motivates the whole exercise (equation (1) of the paper).
+func (l *Library) PowerRatio() float64 {
+	r := l.Vlow / l.Vhigh
+	return r * r
+}
+
+// CellsOf returns the cells implementing a function, smallest drive first.
+// The returned slice is shared; callers must not modify it.
+func (l *Library) CellsOf(f Func) []*Cell { return l.byFunc[f] }
+
+// CellByName looks a cell up by library name.
+func (l *Library) CellByName(name string) (*Cell, bool) {
+	c, ok := l.byName[name]
+	return c, ok
+}
+
+// Smallest returns the minimum-drive cell of a function, or nil if the
+// function is not in the library.
+func (l *Library) Smallest(f Func) *Cell {
+	cs := l.byFunc[f]
+	if len(cs) == 0 {
+		return nil
+	}
+	return cs[0]
+}
+
+// Largest returns the maximum-drive cell of a function, or nil.
+func (l *Library) Largest(f Func) *Cell {
+	cs := l.byFunc[f]
+	if len(cs) == 0 {
+		return nil
+	}
+	return cs[len(cs)-1]
+}
+
+// Upsize returns the next larger cell of the same function, or nil when c is
+// already the largest size.
+func (l *Library) Upsize(c *Cell) *Cell {
+	for _, cand := range l.byFunc[c.Function] {
+		if cand.Size == c.Size+1 {
+			return cand
+		}
+	}
+	return nil
+}
+
+// Downsize returns the next smaller cell of the same function, or nil.
+func (l *Library) Downsize(c *Cell) *Cell {
+	for _, cand := range l.byFunc[c.Function] {
+		if cand.Size == c.Size-1 {
+			return cand
+		}
+	}
+	return nil
+}
+
+// LevelConverter returns the level-restoration cell inserted at low→high
+// driving boundaries (after Usami–Horowitz [8] and Wang et al. [10]).
+func (l *Library) LevelConverter() *Cell { return l.lconv }

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"sort"
+
+	"dualvdd/internal/cell"
+	"dualvdd/internal/netlist"
+	"dualvdd/internal/sta"
+)
+
+// CVSResult reports one CVS run.
+type CVSResult struct {
+	// Lowered is the number of gates this run moved to Vlow.
+	Lowered int
+	// TCB is the time-critical boundary: gates that border the low cluster
+	// (or the POs) and would violate timing if scaled (paper §2).
+	TCB []int
+	// Timing is the final timing annotation.
+	Timing *sta.Timing
+}
+
+// CVS runs clustered voltage scaling: a single reverse-topological sweep from
+// the primary outputs (the breadth-first traversal of Usami & Horowitz). A
+// gate is examined only once all of its fanouts have been decided; it takes
+// Vlow when the incurred delay fits its slack, otherwise it stays high and
+// joins the TCB. CVS may be called again after the circuit gains slack (this
+// is how Gscale pushes the TCB): already-low gates are kept and the cluster
+// is extended from its current boundary.
+func CVS(ckt *netlist.Circuit, lib *cell.Library, tspec, eps float64) (*CVSResult, error) {
+	t, err := sta.Analyze(ckt, lib, tspec)
+	if err != nil {
+		return nil, err
+	}
+	res := &CVSResult{}
+	order := t.Order()
+	fan := t.Fanouts()
+	for i := len(order) - 1; i >= 0; i-- {
+		gi := order[i]
+		g := ckt.Gates[gi]
+		if g.Dead || g.IsLC || g.Volt == cell.VLow {
+			continue
+		}
+		eligible, _ := lowEligible(ckt, fan, gi)
+		if !eligible {
+			continue
+		}
+		out := ckt.GateSignal(gi)
+		delta := t.DeltaLow(ckt, lib, gi)
+		if t.Slack[out]-delta >= eps {
+			g.Volt = cell.VLow
+			res.Lowered++
+			// update_timing: arrivals grow downstream and required times
+			// shrink upstream, so gates examined later (our fanins) need
+			// fresh slacks.
+			t, err = sta.Analyze(ckt, lib, tspec)
+			if err != nil {
+				return nil, err
+			}
+			fan = t.Fanouts()
+			continue
+		}
+		res.TCB = append(res.TCB, gi)
+	}
+	sort.Ints(res.TCB)
+	res.Timing = t
+	return res, nil
+}
+
+// RunCVS applies CVS once and reports circuit-level results, for symmetric
+// use with Dscale and Gscale.
+func RunCVS(ckt *netlist.Circuit, lib *cell.Library, opts Options) (*Result, error) {
+	areaBefore := ckt.Area()
+	r, err := CVS(ckt, lib, opts.Tspec, opts.Eps)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Lowered:      ckt.NumLowGates(),
+		LCs:          ckt.NumLCs(),
+		AreaIncrease: ckt.Area()/areaBefore - 1,
+		Iterations:   1,
+		TCB:          r.TCB,
+	}, nil
+}

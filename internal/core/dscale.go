@@ -1,0 +1,328 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"dualvdd/internal/cell"
+	"dualvdd/internal/graph"
+	"dualvdd/internal/netlist"
+	"dualvdd/internal/power"
+	"dualvdd/internal/sim"
+	"dualvdd/internal/sta"
+)
+
+// weightScale converts power gains in watts to the integer weights the flow
+// network uses. 1e12 keeps sub-µW gains well resolved.
+const weightScale = 1e12
+
+// candidate is one Dscale candSet entry.
+type candidate struct {
+	gate     int
+	deltaArr float64 // arrival penalty at the gate output if lowered
+	lcDelay  float64 // extra level-converter delay on low→high paths
+	gain     float64 // net power gain in watts (after LC costs)
+	needLC   bool
+}
+
+// evalCandidate implements the paper's check_timing plus power weighting for
+// one high-voltage gate: could it take Vlow within its slack, and what would
+// the exact net power gain be once level-restoration costs are charged?
+func evalCandidate(ckt *netlist.Circuit, lib *cell.Library, t *sta.Timing,
+	fan *netlist.Fanouts, act []float64, fclk float64, gi int) (candidate, bool) {
+	g := ckt.Gates[gi]
+	out := ckt.GateSignal(gi)
+	conns := fan.Conns[out]
+
+	// Split consumers: high-voltage gates will hang off a level converter;
+	// low gates and POs stay directly connected.
+	var highCap float64
+	nHigh := 0
+	for _, cn := range conns {
+		cg := ckt.Gates[cn.Gate]
+		if cg.Volt == cell.VHigh {
+			highCap += cg.Cell.InputCap[cn.Pin]
+			nHigh++
+		}
+	}
+	lc := lib.LevelConverter()
+	oldLoad := t.Load[out]
+	newLoad := oldLoad
+	lcLoad := 0.0
+	if nHigh > 0 {
+		newLoad = oldLoad - highCap - lib.WireCapPerFanout*float64(nHigh) +
+			lc.InputCap[0] + lib.WireCapPerFanout
+		lcLoad = highCap + lib.WireCapPerFanout*float64(nHigh)
+	}
+
+	// Timing: the gate's own arrival moves by deltaArr; paths through the
+	// level converter additionally pay the converter's delay. Requiring the
+	// gate's slack to cover both is conservative (the LC sits on a subset of
+	// the fanout paths).
+	derate := lib.LowDerate()
+	newArr := 0.0
+	for pin, s := range g.In {
+		a := t.Arrival[s] + g.Cell.Delay(pin, newLoad, derate)
+		if a > newArr {
+			newArr = a
+		}
+	}
+	deltaArr := newArr - t.Arrival[out]
+	lcDelay := 0.0
+	if nHigh > 0 {
+		lcDelay = lc.MaxDelay(lcLoad, 1.0)
+	}
+
+	// Power: exact local difference under unchanged activities (the level
+	// converter is a buffer, so no activity changes anywhere).
+	vh, vl := lib.Vhigh, lib.Vlow
+	a := act[out]
+	before := power.Switch(a, fclk, oldLoad+g.Cell.InternalCap, vh)
+	after := power.Switch(a, fclk, newLoad+g.Cell.InternalCap, vl)
+	lcCost := 0.0
+	if nHigh > 0 {
+		lcCost = power.Switch(a, fclk, lcLoad+lc.InternalCap, vh) + lib.LCStaticPower
+	}
+	gain := before - after - lcCost
+	return candidate{gate: gi, deltaArr: deltaArr, lcDelay: lcDelay, gain: gain, needLC: nHigh > 0}, true
+}
+
+// Dscale runs the paper's §2 algorithm on a mapped circuit: CVS first, then
+// repeated rounds of slack harvesting. Each round gathers every high-voltage
+// gate whose slack covers the Vlow (plus level-converter) delay penalty and
+// whose net power gain is positive, selects a maximum-weight independent set
+// of them on the circuit's transitive graph — so per-round penalties can
+// never accumulate along one path — applies Vlow, inserts level converters
+// at low→high boundaries, and re-times. It stops when candSet is empty.
+func Dscale(ckt *netlist.Circuit, lib *cell.Library, opts Options) (*Result, error) {
+	areaBefore := ckt.Area()
+	if _, err := CVS(ckt, lib, opts.Tspec, opts.Eps); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	for {
+		t, err := sta.Analyze(ckt, lib, opts.Tspec)
+		if err != nil {
+			return nil, err
+		}
+		simRes, err := sim.Run(ckt, opts.SimWords, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		fan := t.Fanouts()
+
+		// getSlkSet + check_timing + weight_with_power_gain.
+		var cands []candidate
+		for gi, g := range ckt.Gates {
+			if g.Dead || g.IsLC || g.Volt == cell.VLow {
+				continue
+			}
+			out := ckt.GateSignal(gi)
+			if fan.Degree(out) == 0 {
+				continue
+			}
+			if t.Slack[out] <= opts.Eps {
+				continue // not in SlkSet
+			}
+			c, ok := evalCandidate(ckt, lib, t, fan, simRes.Act, opts.Fclk, gi)
+			if !ok || c.gain <= 0 {
+				continue
+			}
+			if t.Slack[out]-(c.deltaArr+c.lcDelay) < opts.Eps {
+				continue
+			}
+			cands = append(cands, c)
+		}
+		if len(cands) == 0 {
+			break
+		}
+
+		var lowSet []int
+		if opts.GreedySelect {
+			// Ablation: greedy highest-gain-first, restricted to a mutually
+			// path-independent set so the per-candidate timing checks stay
+			// valid (checked via reachability, no optimality guarantee).
+			lowSet = greedyIndependent(ckt, fan, cands)
+		} else {
+			// MWIS over the gate-level DAG: node weights are the power
+			// gains, edges are the circuit's driver→consumer relation, so
+			// independence means "no two selected gates on a common path".
+			nGates := len(ckt.Gates)
+			weight := make([]int64, nGates)
+			for _, c := range cands {
+				weight[c.gate] = int64(c.gain * weightScale)
+				if weight[c.gate] <= 0 {
+					weight[c.gate] = 1
+				}
+			}
+			succ := make([][]int, nGates)
+			for gi, g := range ckt.Gates {
+				if g.Dead {
+					continue
+				}
+				for _, cn := range fan.Conns[ckt.GateSignal(gi)] {
+					succ[gi] = append(succ[gi], cn.Gate)
+				}
+			}
+			lowSet, _ = graph.MaxWeightAntichain(nGates, succ, weight)
+		}
+		if len(lowSet) == 0 {
+			break
+		}
+		for _, gi := range lowSet {
+			if err := applyLow(ckt, lib, fan, gi); err != nil {
+				return nil, err
+			}
+		}
+		bypassRedundantLCs(ckt, lib, opts)
+		res.Iterations++
+
+		// update_timing plus a safety net: the per-candidate check is
+		// conservative, so the constraint must still hold.
+		t, err = sta.Analyze(ckt, lib, opts.Tspec)
+		if err != nil {
+			return nil, err
+		}
+		if !t.Meets(opts.Eps) {
+			return nil, fmt.Errorf("core: Dscale violated timing (%.6f > %.6f)", t.WorstArrival, opts.Tspec)
+		}
+	}
+	res.Lowered = ckt.NumLowGates()
+	res.LCs = ckt.NumLCs()
+	res.AreaIncrease = ckt.Area()/areaBefore - 1
+	return res, nil
+}
+
+// greedyIndependent picks candidates highest-gain-first, discarding any that
+// shares a path with an earlier pick. Used only by the GreedySelect ablation.
+func greedyIndependent(ckt *netlist.Circuit, fan *netlist.Fanouts, cands []candidate) []int {
+	sorted := append([]candidate(nil), cands...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].gain > sorted[j].gain })
+	// Downstream reachability from each chosen gate, computed lazily per
+	// pick over the gate DAG.
+	chosen := make(map[int]bool)
+	reachOf := func(start int) map[int]bool {
+		seen := map[int]bool{start: true}
+		stack := []int{start}
+		for len(stack) > 0 {
+			gi := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, cn := range fan.Conns[ckt.GateSignal(gi)] {
+				if !seen[cn.Gate] {
+					seen[cn.Gate] = true
+					stack = append(stack, cn.Gate)
+				}
+			}
+		}
+		return seen
+	}
+	covered := make(map[int]bool) // gates on a path with some chosen gate
+	var out []int
+	for _, c := range sorted {
+		if covered[c.gate] || chosen[c.gate] {
+			continue
+		}
+		down := reachOf(c.gate)
+		conflict := false
+		for g := range chosen {
+			if down[g] {
+				conflict = true
+				break
+			}
+		}
+		if conflict {
+			continue
+		}
+		chosen[c.gate] = true
+		out = append(out, c.gate)
+		for g := range down {
+			covered[g] = true
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// applyLow moves gate gi to Vlow and inserts a level converter in front of
+// its high-voltage consumers ("insert necessary level restoration circuits").
+// One converter per net is shared by all high consumers.
+func applyLow(ckt *netlist.Circuit, lib *cell.Library, fan *netlist.Fanouts, gi int) error {
+	g := ckt.Gates[gi]
+	if g.Volt == cell.VLow {
+		return fmt.Errorf("core: gate %s already low", g.Name)
+	}
+	g.Volt = cell.VLow
+	out := ckt.GateSignal(gi)
+	var highConns []netlist.Conn
+	for _, cn := range fan.Conns[out] {
+		if ckt.Gates[cn.Gate].Volt == cell.VHigh {
+			highConns = append(highConns, cn)
+		}
+	}
+	if len(highConns) == 0 {
+		return nil
+	}
+	_, lcSig := ckt.AddGate(fmt.Sprintf("$lc_%s", g.Name), lib.LevelConverter(), out)
+	lcGate := ckt.GateOf(lcSig)
+	lcGate.IsLC = true
+	for _, cn := range highConns {
+		ckt.Gates[cn.Gate].In[cn.Pin] = lcSig
+	}
+	return nil
+}
+
+// bypassRedundantLCs reconnects low-voltage gates that are fed through a
+// level converter directly to the converter's low-voltage source (a low gate
+// needs no restored swing), then deletes converters with no remaining
+// consumers. Each bypass is accepted only if the source net's slack absorbs
+// its load change, so timing stays safe.
+func bypassRedundantLCs(ckt *netlist.Circuit, lib *cell.Library, opts Options) {
+	for {
+		t, err := sta.Analyze(ckt, lib, opts.Tspec)
+		if err != nil {
+			return
+		}
+		changed := false
+	scan:
+		for _, g := range ckt.Gates {
+			if g.Dead || g.Volt != cell.VLow || g.IsLC {
+				continue
+			}
+			for pin, s := range g.In {
+				drv := ckt.GateOf(s)
+				if drv == nil || !drv.IsLC || drv.Dead {
+					continue
+				}
+				src := drv.In[0]
+				srcGate := ckt.GateOf(src)
+				if srcGate == nil {
+					continue
+				}
+				// Load change on the source net: it gains this consumer pin
+				// (the converter stays until it loses every consumer).
+				dLoad := g.Cell.InputCap[pin] + lib.WireCapPerFanout
+				srcGi := ckt.GateIndex(src)
+				newArr := t.GateArrivalWithCell(ckt, lib, srcGi, srcGate.Cell, dLoad)
+				if newArr-t.Arrival[src] >= t.Slack[src]-opts.Eps {
+					continue
+				}
+				g.In[pin] = src
+				changed = true
+				// One rewire at a time: loads moved, so re-time before the
+				// next decision.
+				break scan
+			}
+		}
+		// Remove converters nobody listens to anymore.
+		fan := ckt.BuildFanouts()
+		for gi, g := range ckt.Gates {
+			if !g.Dead && g.IsLC && fan.Degree(ckt.GateSignal(gi)) == 0 {
+				g.Dead = true
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}

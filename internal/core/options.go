@@ -1,0 +1,103 @@
+// Package core implements the paper's gate-level dual-supply-voltage
+// algorithms:
+//
+//   - CVS, the clustered voltage scaling baseline of Usami & Horowitz that
+//     the paper re-implements: a reverse-topological traversal from the
+//     primary outputs that lowers a gate's supply only when all of its
+//     fanouts are already low (or are primary outputs), so the low-voltage
+//     gates form a single cluster and no level restoration is needed inside
+//     the block;
+//   - Dscale (§2), which exploits the remaining slack anywhere in the
+//     circuit: candidates that can absorb the Vlow delay penalty are
+//     weighted by net power gain and selected with a maximum-weight
+//     independent set on the transitive graph so no two selected gates share
+//     a path; level converters are inserted at every low→high boundary; and
+//   - Gscale (§3), which creates new slack instead: it pushes the
+//     time-critical boundary (TCB) toward the primary inputs by up-sizing a
+//     minimum-weight separator of the critical path network each iteration,
+//     then re-running CVS, within a global area budget.
+package core
+
+import (
+	"dualvdd/internal/cell"
+	"dualvdd/internal/netlist"
+)
+
+// Options configures the scaling algorithms. The defaults reproduce the
+// paper's evaluation setup.
+type Options struct {
+	// Tspec is the timing constraint at every primary output (ns). The
+	// paper uses 1.2× the minimum-delay mapping's critical path.
+	Tspec float64
+	// Eps is the timing slack tolerance (ns); a move must leave at least
+	// Eps of slack margin to be accepted.
+	Eps float64
+	// MaxIter is Gscale's bound on consecutive unsuccessful TCB pushes; the
+	// paper uses 10.
+	MaxIter int
+	// MaxAreaIncrease is Gscale's global area budget as a fraction of the
+	// original area; the paper uses 0.10.
+	MaxAreaIncrease float64
+	// SimWords is the number of 64-vector words used for activity
+	// estimation when weighting Dscale candidates.
+	SimWords int
+	// Seed drives the random-vector simulation.
+	Seed uint64
+	// Fclk is the clock frequency for power weighting (20 MHz in the paper).
+	Fclk float64
+	// GreedySelect replaces Dscale's maximum-weight-independent-set
+	// selection with a greedy highest-gain-first commit loop. Ablation knob:
+	// it quantifies what the paper's MWIS formulation buys.
+	GreedySelect bool
+	// GreedySizing replaces Gscale's minimum-weight-separator cut with
+	// up-sizing the single most profitable critical gate per iteration.
+	// Ablation knob for the paper's min-cut formulation.
+	GreedySizing bool
+}
+
+// DefaultOptions returns the paper's parameters (Tspec must still be set by
+// the caller, normally from the mapper's Result).
+func DefaultOptions(tspec float64) Options {
+	return Options{
+		Tspec:           tspec,
+		Eps:             1e-9,
+		MaxIter:         10,
+		MaxAreaIncrease: 0.10,
+		SimWords:        256,
+		Seed:            1,
+		Fclk:            20e6,
+	}
+}
+
+// Result summarises what a scaling algorithm did to a circuit.
+type Result struct {
+	// Lowered is the number of ordinary gates now at Vlow.
+	Lowered int
+	// LCs is the number of level converters present (Dscale only).
+	LCs int
+	// Sized is the number of gates whose cell size Gscale changed.
+	Sized int
+	// AreaIncrease is the relative area growth versus the input circuit.
+	AreaIncrease float64
+	// Iterations counts algorithm iterations (Dscale rounds or Gscale
+	// pushes).
+	Iterations int
+	// TCB holds the final time-critical boundary (gate indices).
+	TCB []int
+}
+
+// lowEligible reports whether gate gi may legally take Vlow under the
+// clustering rule: every consumer is a Vlow gate or a primary output. It
+// also reports whether the gate borders the existing low cluster (some
+// consumer is low) or the POs, which feeds the paper's TCB definition.
+func lowEligible(ckt *netlist.Circuit, fan *netlist.Fanouts, gi int) (eligible, borders bool) {
+	out := ckt.GateSignal(gi)
+	for _, cn := range fan.Conns[out] {
+		cg := ckt.Gates[cn.Gate]
+		if cg.Volt != cell.VLow {
+			return false, false
+		}
+	}
+	borders = len(fan.Conns[out]) > 0 || len(fan.POs[out]) > 0
+	return borders, borders
+}

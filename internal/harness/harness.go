@@ -1,0 +1,67 @@
+// Package harness runs the paper's complete per-circuit experiment — prepare
+// (generate, map, relax, measure original power), then CVS, Dscale and
+// Gscale on fresh clones — and collects one report.Row. It is shared by
+// cmd/tables, the root benchmark suite, and the experiments integration test
+// so every consumer regenerates Tables 1 and 2 identically.
+package harness
+
+import (
+	"dualvdd"
+	"dualvdd/internal/report"
+)
+
+// Run evaluates one benchmark circuit under the given configuration.
+func Run(name string, cfg dualvdd.Config) (report.Row, error) {
+	d, err := dualvdd.PrepareBenchmark(name, cfg)
+	if err != nil {
+		return report.Row{}, err
+	}
+	return RunDesign(d)
+}
+
+// RunDesign evaluates an already prepared design.
+func RunDesign(d *dualvdd.Design) (report.Row, error) {
+	cvs, err := d.RunCVS()
+	if err != nil {
+		return report.Row{}, err
+	}
+	ds, err := d.RunDscale()
+	if err != nil {
+		return report.Row{}, err
+	}
+	gs, err := d.RunGscale()
+	if err != nil {
+		return report.Row{}, err
+	}
+	return report.Row{
+		Name:        d.Name,
+		OrgPwrUW:    d.OrgPower * 1e6,
+		CVSPct:      cvs.ImprovePct,
+		DscalePct:   ds.ImprovePct,
+		GscalePct:   gs.ImprovePct,
+		CPUSec:      gs.Runtime.Seconds(),
+		OrgGates:    cvs.Gates,
+		CVSLow:      cvs.LowGates,
+		CVSRatio:    cvs.LowRatio,
+		DscaleLow:   ds.LowGates,
+		DscaleRatio: ds.LowRatio,
+		GscaleLow:   gs.LowGates,
+		GscRatio:    gs.LowRatio,
+		Sized:       gs.Sized,
+		AreaInc:     gs.AreaIncrease,
+		DscaleLCs:   ds.LCs,
+	}, nil
+}
+
+// RunAll evaluates every benchmark in table order.
+func RunAll(cfg dualvdd.Config) ([]report.Row, error) {
+	var rows []report.Row
+	for _, name := range dualvdd.Benchmarks() {
+		r, err := Run(name, cfg)
+		if err != nil {
+			return rows, err
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}

@@ -1,0 +1,59 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"dualvdd"
+	"dualvdd/internal/report"
+)
+
+func TestRunProducesConsistentRow(t *testing.T) {
+	cfg := dualvdd.DefaultConfig()
+	row, err := Run("x2", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Name != "x2" || row.OrgPwrUW <= 0 || row.OrgGates <= 0 {
+		t.Fatalf("degenerate row: %+v", row)
+	}
+	// Internal consistency of the row's own fields.
+	if row.GscalePct < row.CVSPct-1e-9 {
+		t.Fatalf("Gscale %.2f below CVS %.2f", row.GscalePct, row.CVSPct)
+	}
+	if row.CVSLow > row.OrgGates || row.GscaleLow > row.OrgGates {
+		t.Fatalf("low counts exceed gate count: %+v", row)
+	}
+	if row.CVSRatio < 0 || row.CVSRatio > 1 || row.GscRatio < 0 || row.GscRatio > 1 {
+		t.Fatalf("ratios out of range: %+v", row)
+	}
+	if row.AreaInc > cfg.MaxAreaIncrease+1e-9 {
+		t.Fatalf("area increase %.3f over budget", row.AreaInc)
+	}
+}
+
+func TestRunUnknownCircuit(t *testing.T) {
+	if _, err := Run("nope", dualvdd.DefaultConfig()); err == nil {
+		t.Fatal("unknown circuit accepted")
+	}
+}
+
+func TestRunFeedsShapeChecks(t *testing.T) {
+	cfg := dualvdd.DefaultConfig()
+	var rows []report.Row
+	for _, name := range []string{"z4ml", "pm1", "x2"} {
+		row, err := Run(name, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows = append(rows, row)
+	}
+	// A healthy small sample violates none of the ordering/area checks
+	// (the zero-CVS-circuit check is relaxed below 10 rows but z4ml-family
+	// circuits all have positive CVS, so include pm1's low value margin).
+	for _, f := range report.ShapeChecks(rows) {
+		if !strings.Contains(f, "near-zero CVS") {
+			t.Errorf("shape check failed on healthy sample: %s", f)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package logic
+
+// Sweep performs the technology-independent cleanup the paper gets from the
+// SIS "script.rugged" run before mapping: constant propagation through
+// covers, buffer collapsing, and removal of logic with no path to a primary
+// output. It iterates to a fixpoint and returns the number of elementary
+// rewrites applied.
+//
+// Inverters are deliberately kept — polarity assignment is the mapper's job.
+// Constant nodes that still feed a PO (or surviving logic) are retained and
+// later map to tie cells.
+func (n *Network) Sweep() int {
+	total := 0
+	for {
+		c := n.sweepOnce()
+		total += c
+		if c == 0 {
+			return total
+		}
+	}
+}
+
+func (n *Network) sweepOnce() int {
+	changed := 0
+	changed += n.propagateConstants()
+	changed += n.collapseBuffers()
+	changed += n.removeDangling()
+	return changed
+}
+
+// propagateConstants specialises every cover against constant fanins.
+func (n *Network) propagateConstants() int {
+	changed := 0
+	constVal := make(map[Signal]bool) // signal -> constant value
+	for k, nd := range n.Nodes {
+		if nd.Dead {
+			continue
+		}
+		if isC, v := nd.IsConst(); isC {
+			constVal[n.NodeSignal(k)] = v
+		}
+	}
+	if len(constVal) == 0 {
+		return 0
+	}
+	for _, nd := range n.Nodes {
+		if nd.Dead {
+			continue
+		}
+		if isC, _ := nd.IsConst(); isC {
+			continue
+		}
+		for {
+			col := -1
+			var cv bool
+			for i, s := range nd.Fanin {
+				if v, ok := constVal[s]; ok {
+					col, cv = i, v
+					break
+				}
+			}
+			if col < 0 {
+				break
+			}
+			nd.dropConstColumn(col, cv)
+			changed++
+		}
+	}
+	return changed
+}
+
+// dropConstColumn specialises the cover for fanin column col being the
+// constant v, then removes the column.
+func (nd *Node) dropConstColumn(col int, v bool) {
+	keep := nd.Cubes[:0]
+	for _, c := range nd.Cubes {
+		lit := c[col]
+		if (lit == '1' && !v) || (lit == '0' && v) {
+			continue // cube is false under the constant
+		}
+		keep = append(keep, c[:col]+c[col+1:])
+	}
+	nd.Cubes = append([]Cube(nil), keep...)
+	nd.Fanin = append(nd.Fanin[:col], nd.Fanin[col+1:]...)
+	// A satisfied empty cube means constant 1; drop redundant siblings.
+	for _, c := range nd.Cubes {
+		if len(c) == 0 || allDash(c) {
+			nd.Cubes = []Cube{Cube(dashes(len(nd.Fanin)))}
+			return
+		}
+	}
+}
+
+func allDash(c Cube) bool {
+	for i := 0; i < len(c); i++ {
+		if c[i] != '-' {
+			return false
+		}
+	}
+	return true
+}
+
+func dashes(k int) string {
+	b := make([]byte, k)
+	for i := range b {
+		b[i] = '-'
+	}
+	return string(b)
+}
+
+// collapseBuffers re-points consumers of pure buffer nodes (single fanin,
+// single positive-literal cube) to the buffer's source.
+func (n *Network) collapseBuffers() int {
+	target := make(map[Signal]Signal)
+	for k, nd := range n.Nodes {
+		if nd.Dead || len(nd.Fanin) != 1 || len(nd.Cubes) != 1 || nd.Cubes[0] != "1" {
+			continue
+		}
+		target[n.NodeSignal(k)] = nd.Fanin[0]
+	}
+	if len(target) == 0 {
+		return 0
+	}
+	resolve := func(s Signal) Signal {
+		for {
+			t, ok := target[s]
+			if !ok {
+				return s
+			}
+			s = t
+		}
+	}
+	changed := 0
+	for _, nd := range n.Nodes {
+		if nd.Dead {
+			continue
+		}
+		for i, s := range nd.Fanin {
+			if r := resolve(s); r != s {
+				nd.Fanin[i] = r
+				changed++
+			}
+		}
+	}
+	for i := range n.POs {
+		if r := resolve(n.POs[i].Src); r != n.POs[i].Src {
+			n.POs[i].Src = r
+			changed++
+		}
+	}
+	return changed
+}
+
+// removeDangling marks Dead every node that cannot reach a primary output.
+func (n *Network) removeDangling() int {
+	used := make([]bool, n.NumSignals())
+	var stack []Signal
+	for _, po := range n.POs {
+		if !used[po.Src] {
+			used[po.Src] = true
+			stack = append(stack, po.Src)
+		}
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nd := n.NodeOf(s)
+		if nd == nil || nd.Dead {
+			continue
+		}
+		for _, in := range nd.Fanin {
+			if !used[in] {
+				used[in] = true
+				stack = append(stack, in)
+			}
+		}
+	}
+	changed := 0
+	for k, nd := range n.Nodes {
+		if !nd.Dead && !used[n.NodeSignal(k)] {
+			nd.Dead = true
+			changed++
+		}
+	}
+	return changed
+}

@@ -1,0 +1,231 @@
+package mapper
+
+import (
+	"fmt"
+
+	"dualvdd/internal/cell"
+	"dualvdd/internal/logic"
+	"dualvdd/internal/netlist"
+)
+
+// matchRec is the best cover found for one subject node.
+type matchRec struct {
+	cl   *cell.Cell
+	bind []*sgNode // subject node feeding each cell pin
+	arr  float64   // estimated arrival under the nominal-load delay model
+	area float64   // estimated subtree area (shared leaves overcounted)
+}
+
+// coverState carries the DP tables across matching and emission.
+type coverState struct {
+	lib     *cell.Library
+	nominal float64
+	// isBoundary marks subject nodes that must remain explicit nets: nodes
+	// with more than one consumer and primary-output sources. Patterns may
+	// not swallow them as internal nodes.
+	isBoundary map[*sgNode]bool
+	best       map[*sgNode]*matchRec
+	arr        map[*sgNode]float64
+}
+
+// matchPattern attempts to match pattern node p against subject node s while
+// binding pattern variables consistently. trail records bound variables for
+// rollback. root is the subject node the whole pattern is rooted at; interior
+// pattern nodes may only consume non-boundary, single-fanout subject nodes.
+func (cs *coverState) matchPattern(p, s, root *sgNode, bind []*sgNode, trail *[]int) bool {
+	if p.kind == sgLeaf {
+		v := p.leaf
+		if bind[v] == nil {
+			bind[v] = s
+			*trail = append(*trail, v)
+			return true
+		}
+		return bind[v] == s
+	}
+	if s.kind != p.kind {
+		return false
+	}
+	if s != root && (cs.isBoundary[s] || s.nfo != 1) {
+		return false
+	}
+	if p.kind == sgINV {
+		return cs.matchPattern(p.fan[0], s.fan[0], root, bind, trail)
+	}
+	// NAND: try both child orders, rolling back bindings between attempts.
+	mark := len(*trail)
+	if cs.matchPattern(p.fan[0], s.fan[0], root, bind, trail) &&
+		cs.matchPattern(p.fan[1], s.fan[1], root, bind, trail) {
+		return true
+	}
+	for _, v := range (*trail)[mark:] {
+		bind[v] = nil
+	}
+	*trail = (*trail)[:mark]
+	if cs.matchPattern(p.fan[0], s.fan[1], root, bind, trail) &&
+		cs.matchPattern(p.fan[1], s.fan[0], root, bind, trail) {
+		return true
+	}
+	for _, v := range (*trail)[mark:] {
+		bind[v] = nil
+	}
+	*trail = (*trail)[:mark]
+	return false
+}
+
+// cover runs the covering DP over the subject nodes in topological order
+// (children first, as produced by countFanouts). Minimum estimated arrival
+// wins; area breaks ties — the "-n1 -AFG" minimum-delay regime.
+func (cs *coverState) cover(order []*sgNode) error {
+	const eps = 1e-9
+	for _, n := range order {
+		if n.kind == sgLeaf {
+			cs.arr[n] = 0
+			continue
+		}
+		var best *matchRec
+		for _, pat := range patterns() {
+			cells := cs.lib.CellsOf(pat.fn)
+			if len(cells) == 0 {
+				continue
+			}
+			bind := make([]*sgNode, pat.numVars)
+			var trail []int
+			if !cs.matchPattern(pat.root, n, n, bind, &trail) {
+				continue
+			}
+			for _, cl := range cells {
+				arr, area := 0.0, cl.Area
+				feasible := true
+				for pin, leaf := range bind {
+					if leaf == nil {
+						feasible = false
+						break
+					}
+					la, ok := cs.arr[leaf]
+					if !ok {
+						feasible = false
+						break
+					}
+					if a := la + cl.Delay(pin, cs.nominal, 1.0); a > arr {
+						arr = a
+					}
+					if lb := cs.best[leaf]; lb != nil {
+						area += lb.area
+					}
+				}
+				if !feasible {
+					continue
+				}
+				if best == nil || arr < best.arr-eps ||
+					(arr < best.arr+eps && area < best.area-eps) {
+					best = &matchRec{cl: cl, bind: append([]*sgNode(nil), bind...), arr: arr, area: area}
+				}
+			}
+		}
+		if best == nil {
+			return fmt.Errorf("mapper: no pattern matches subject node %d (kind %d)", n.id, n.kind)
+		}
+		cs.best[n] = best
+		cs.arr[n] = best.arr
+	}
+	return nil
+}
+
+// emit lowers the chosen covers into a mapped netlist.
+func (cs *coverState) emit(n *logic.Network, sub *subject) (*netlist.Circuit, error) {
+	ckt := netlist.New(n.Name)
+	sigOf := make(map[*sgNode]netlist.Signal)
+	for pi := 0; pi < len(n.PIs); pi++ {
+		s := ckt.AddPI(n.PIs[pi])
+		sigOf[sub.ctx.mkLeaf(pi)] = s
+	}
+	used := make(map[string]bool)
+	for _, pi := range n.PIs {
+		used[pi] = true
+	}
+	uniqueName := func(want string) string {
+		if want != "" && !used[want] {
+			used[want] = true
+			return want
+		}
+		for i := 0; ; i++ {
+			cand := fmt.Sprintf("%s$u%d", want, i)
+			if !used[cand] {
+				used[cand] = true
+				return cand
+			}
+		}
+	}
+
+	var emitNode func(sg *sgNode) (netlist.Signal, error)
+	emitNode = func(sg *sgNode) (netlist.Signal, error) {
+		if s, ok := sigOf[sg]; ok {
+			return s, nil
+		}
+		rec := cs.best[sg]
+		if rec == nil {
+			return netlist.None, fmt.Errorf("mapper: emitting uncovered subject node %d", sg.id)
+		}
+		ins := make([]netlist.Signal, len(rec.bind))
+		for pin, leaf := range rec.bind {
+			s, err := emitNode(leaf)
+			if err != nil {
+				return netlist.None, err
+			}
+			ins[pin] = s
+		}
+		name := sub.nameOf[sg]
+		if name == "" {
+			name = fmt.Sprintf("$m%d", sg.id)
+		}
+		_, out := ckt.AddGate(uniqueName(name), rec.cl, ins...)
+		sigOf[sg] = out
+		return out, nil
+	}
+
+	// Tie gates for constant PO signals, shared per constant value.
+	var tieSig [2]netlist.Signal
+	tieSig[0], tieSig[1] = netlist.None, netlist.None
+	tie := func(v bool) (netlist.Signal, error) {
+		idx := 0
+		fn := cell.FTIE0
+		if v {
+			idx, fn = 1, cell.FTIE1
+		}
+		if tieSig[idx] != netlist.None {
+			return tieSig[idx], nil
+		}
+		cl := cs.lib.Smallest(fn)
+		if cl == nil {
+			return netlist.None, fmt.Errorf("mapper: library %s lacks tie cell %s", cs.lib.Name, fn)
+		}
+		_, out := ckt.AddGate(uniqueName(fmt.Sprintf("$tie%d", idx)), cl)
+		tieSig[idx] = out
+		return out, nil
+	}
+
+	for _, po := range n.POs {
+		src := po.Src
+		if v, isConst := sub.constOf[src]; isConst {
+			s, err := tie(v)
+			if err != nil {
+				return nil, err
+			}
+			ckt.AddPO(po.Name, s)
+			continue
+		}
+		root, ok := sub.rootOf[src]
+		if !ok {
+			return nil, fmt.Errorf("mapper: PO %s has no subject root", po.Name)
+		}
+		s, err := emitNode(root)
+		if err != nil {
+			return nil, err
+		}
+		ckt.AddPO(po.Name, s)
+	}
+	if err := ckt.Validate(); err != nil {
+		return nil, fmt.Errorf("mapper: emitted netlist invalid: %w", err)
+	}
+	return ckt, nil
+}

@@ -1,0 +1,152 @@
+package mapper
+
+import (
+	"fmt"
+
+	"dualvdd/internal/cell"
+	"dualvdd/internal/logic"
+	"dualvdd/internal/netlist"
+	"dualvdd/internal/sta"
+)
+
+// Options configures the mapping flow.
+type Options struct {
+	// SlackFactor loosens the timing constraint relative to the minimum
+	// delay mapping; the paper uses 1.2 ("we loosen the timing constraint by
+	// 20%").
+	SlackFactor float64
+	// NominalLoad (pF) is the load assumed during covering, before real
+	// fanout loads are known.
+	NominalLoad float64
+	// AreaRecovery enables the post-mapping downsizing pass that trades the
+	// loosened timing budget for area, like SIS's area-delay tradeoff map.
+	AreaRecovery bool
+	// Eps is the timing comparison tolerance in ns.
+	Eps float64
+}
+
+// DefaultOptions mirrors the paper's setup.
+func DefaultOptions() Options {
+	return Options{SlackFactor: 1.2, NominalLoad: 0.004, AreaRecovery: true, Eps: 1e-9}
+}
+
+// Result is a mapped design ready for the voltage-scaling algorithms.
+type Result struct {
+	// Circuit is the mapped netlist (all gates at Vhigh).
+	Circuit *netlist.Circuit
+	// MinDelay is the critical path of the pure minimum-delay mapping.
+	MinDelay float64
+	// Tspec is the timing constraint handed to the scaling algorithms: the
+	// critical-path delay of the relaxed, area-recovered mapping itself
+	// (at most SlackFactor × MinDelay), following the paper's setup.
+	Tspec float64
+}
+
+// Map lowers a logic network onto the library. The input is cloned and swept
+// first, so callers keep their network intact.
+func Map(n *logic.Network, lib *cell.Library, opts Options) (*Result, error) {
+	if opts.SlackFactor < 1 {
+		return nil, fmt.Errorf("mapper: SlackFactor %.3f must be >= 1", opts.SlackFactor)
+	}
+	work := n.Clone()
+	work.Sweep()
+	if err := work.Validate(); err != nil {
+		return nil, err
+	}
+	sub, err := buildSubject(work)
+	if err != nil {
+		return nil, err
+	}
+	// Reachable subject nodes and fanout counts, from the PO roots.
+	var outs []*sgNode
+	for _, po := range work.POs {
+		if root, ok := sub.rootOf[po.Src]; ok {
+			outs = append(outs, root)
+		}
+	}
+	order := countFanouts(outs)
+	boundary := make(map[*sgNode]bool)
+	for _, po := range work.POs {
+		if root, ok := sub.rootOf[po.Src]; ok {
+			boundary[root] = true
+		}
+	}
+	cs := &coverState{
+		lib:        lib,
+		nominal:    opts.NominalLoad,
+		isBoundary: boundary,
+		best:       make(map[*sgNode]*matchRec, len(order)),
+		arr:        make(map[*sgNode]float64, len(order)),
+	}
+	if err := cs.cover(order); err != nil {
+		return nil, err
+	}
+	ckt, err := cs.emit(work, sub)
+	if err != nil {
+		return nil, err
+	}
+	minDelay, err := sta.MinDelay(ckt, lib)
+	if err != nil {
+		return nil, err
+	}
+	relaxed := minDelay * opts.SlackFactor
+	if opts.AreaRecovery {
+		if err := RecoverArea(ckt, lib, relaxed, opts.Eps); err != nil {
+			return nil, err
+		}
+	}
+	// The paper processes each circuit "using the delay of the mapped
+	// circuit as the timing constraint": the constraint is the relaxed,
+	// area-recovered netlist's own critical path, so critical paths start
+	// with exactly zero slack. (This is why perfectly balanced circuits —
+	// C499, C1355, mux, z4ml — gain nothing from CVS in Table 1: they have
+	// no non-critical part until Gscale manufactures one.)
+	final, err := sta.MinDelay(ckt, lib)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Circuit: ckt, MinDelay: minDelay, Tspec: final}, nil
+}
+
+// RecoverArea repeatedly downsizes gates while the circuit still meets tspec,
+// consuming the loosened timing budget for area exactly like the paper's
+// second map run ("so that the SIS mapper can perform area-delay tradeoff
+// using the 20% timing slack"). Downsizing a gate slows only the gate itself
+// (its output load is unchanged and its input pins shrink, which can only
+// help its drivers), so a local slack check against fresh timing is safe.
+func RecoverArea(ckt *netlist.Circuit, lib *cell.Library, tspec, eps float64) error {
+	t, err := sta.Analyze(ckt, lib, tspec)
+	if err != nil {
+		return err
+	}
+	for pass := 0; pass < 16; pass++ {
+		changed := 0
+		order := t.Order()
+		for i := len(order) - 1; i >= 0; i-- {
+			gi := order[i]
+			g := ckt.Gates[gi]
+			smaller := lib.Downsize(g.Cell)
+			if smaller == nil {
+				continue
+			}
+			out := ckt.GateSignal(gi)
+			newArr := t.GateArrivalWithCell(ckt, lib, gi, smaller, 0)
+			delta := newArr - t.Arrival[out]
+			if delta <= t.Slack[out]-eps {
+				g.Cell = smaller
+				changed++
+				t, err = sta.Analyze(ckt, lib, tspec)
+				if err != nil {
+					return err
+				}
+			}
+		}
+		if changed == 0 {
+			break
+		}
+	}
+	if !t.Meets(eps) {
+		return fmt.Errorf("mapper: area recovery broke timing (%.4f > %.4f)", t.WorstArrival, tspec)
+	}
+	return nil
+}

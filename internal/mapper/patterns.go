@@ -1,0 +1,166 @@
+package mapper
+
+import (
+	"sort"
+	"sync"
+
+	"dualvdd/internal/cell"
+)
+
+// pattern is one NAND2/INV tree shape a cell can implement. Pattern leaves
+// carry the cell pin index they bind. Several variants per cell cover the
+// different associations a source cover can decompose into.
+type pattern struct {
+	fn      cell.Func
+	root    *sgNode
+	numVars int
+}
+
+// patBuilder assembles one pattern variant. vars are the pin leaves.
+type patBuilder func(c *sgCtx, v []*sgNode) *sgNode
+
+// patternSpecs lists the pattern variants per function. BUF and the tie cells
+// have no gate-level structure and are handled outside covering; LCONV is
+// inserted by the scaling algorithms, never by the mapper.
+var patternSpecs = map[cell.Func][]patBuilder{
+	cell.FINV:   {func(c *sgCtx, v []*sgNode) *sgNode { return c.mkINV(v[0]) }},
+	cell.FNAND2: {func(c *sgCtx, v []*sgNode) *sgNode { return c.mkNAND(v[0], v[1]) }},
+	cell.FNAND3: {
+		func(c *sgCtx, v []*sgNode) *sgNode { return c.mkINV(c.balancedAnd(v[:3])) },
+		func(c *sgCtx, v []*sgNode) *sgNode { return c.mkINV(c.mkAND(v[0], c.mkAND(v[1], v[2]))) },
+	},
+	cell.FNAND4: {
+		func(c *sgCtx, v []*sgNode) *sgNode { return c.mkINV(c.balancedAnd(v[:4])) },
+		func(c *sgCtx, v []*sgNode) *sgNode {
+			return c.mkINV(c.mkAND(c.mkAND(c.mkAND(v[0], v[1]), v[2]), v[3]))
+		},
+	},
+	cell.FNOR2: {func(c *sgCtx, v []*sgNode) *sgNode { return c.mkINV(c.mkOR(v[0], v[1])) }},
+	cell.FNOR3: {
+		func(c *sgCtx, v []*sgNode) *sgNode { return c.mkINV(c.balancedOr(v[:3])) },
+		func(c *sgCtx, v []*sgNode) *sgNode { return c.mkINV(c.mkOR(v[0], c.mkOR(v[1], v[2]))) },
+	},
+	cell.FNOR4: {
+		func(c *sgCtx, v []*sgNode) *sgNode { return c.mkINV(c.balancedOr(v[:4])) },
+		func(c *sgCtx, v []*sgNode) *sgNode {
+			return c.mkINV(c.mkOR(c.mkOR(c.mkOR(v[0], v[1]), v[2]), v[3]))
+		},
+	},
+	cell.FAND2: {func(c *sgCtx, v []*sgNode) *sgNode { return c.mkAND(v[0], v[1]) }},
+	cell.FAND3: {
+		func(c *sgCtx, v []*sgNode) *sgNode { return c.balancedAnd(v[:3]) },
+		func(c *sgCtx, v []*sgNode) *sgNode { return c.mkAND(v[0], c.mkAND(v[1], v[2])) },
+	},
+	cell.FAND4: {
+		func(c *sgCtx, v []*sgNode) *sgNode { return c.balancedAnd(v[:4]) },
+		func(c *sgCtx, v []*sgNode) *sgNode { return c.mkAND(c.mkAND(c.mkAND(v[0], v[1]), v[2]), v[3]) },
+	},
+	cell.FOR2: {func(c *sgCtx, v []*sgNode) *sgNode { return c.mkOR(v[0], v[1]) }},
+	cell.FOR3: {
+		func(c *sgCtx, v []*sgNode) *sgNode { return c.balancedOr(v[:3]) },
+		func(c *sgCtx, v []*sgNode) *sgNode { return c.mkOR(v[0], c.mkOR(v[1], v[2])) },
+	},
+	cell.FOR4: {
+		func(c *sgCtx, v []*sgNode) *sgNode { return c.balancedOr(v[:4]) },
+		func(c *sgCtx, v []*sgNode) *sgNode { return c.mkOR(c.mkOR(c.mkOR(v[0], v[1]), v[2]), v[3]) },
+	},
+	cell.FXOR2: {func(c *sgCtx, v []*sgNode) *sgNode {
+		return c.mkOR(c.mkAND(v[0], c.mkINV(v[1])), c.mkAND(c.mkINV(v[0]), v[1]))
+	}},
+	cell.FXNOR2: {func(c *sgCtx, v []*sgNode) *sgNode {
+		return c.mkOR(c.mkAND(v[0], v[1]), c.mkAND(c.mkINV(v[0]), c.mkINV(v[1])))
+	}},
+	cell.FXOR3: {func(c *sgCtx, v []*sgNode) *sgNode {
+		// SOP shape of a 3-input parity; shared inverters usually make this
+		// unmatchable inside one tree, which mirrors real mappers rarely
+		// instantiating wide parity cells from random logic.
+		a, b, d := v[0], v[1], v[2]
+		na, nb, nd := c.mkINV(a), c.mkINV(b), c.mkINV(d)
+		return c.balancedOr([]*sgNode{
+			c.balancedAnd([]*sgNode{a, nb, nd}),
+			c.balancedAnd([]*sgNode{na, b, nd}),
+			c.balancedAnd([]*sgNode{na, nb, d}),
+			c.balancedAnd([]*sgNode{a, b, d}),
+		})
+	}},
+	cell.FAOI21: {func(c *sgCtx, v []*sgNode) *sgNode {
+		return c.mkINV(c.mkOR(c.mkAND(v[0], v[1]), v[2]))
+	}},
+	cell.FAOI22: {func(c *sgCtx, v []*sgNode) *sgNode {
+		return c.mkINV(c.mkOR(c.mkAND(v[0], v[1]), c.mkAND(v[2], v[3])))
+	}},
+	cell.FAOI211: {
+		func(c *sgCtx, v []*sgNode) *sgNode {
+			return c.mkINV(c.balancedOr([]*sgNode{c.mkAND(v[0], v[1]), v[2], v[3]}))
+		},
+		func(c *sgCtx, v []*sgNode) *sgNode {
+			return c.mkINV(c.mkOR(c.mkAND(v[0], v[1]), c.mkOR(v[2], v[3])))
+		},
+	},
+	cell.FOAI21: {func(c *sgCtx, v []*sgNode) *sgNode {
+		return c.mkINV(c.mkAND(c.mkOR(v[0], v[1]), v[2]))
+	}},
+	cell.FOAI22: {func(c *sgCtx, v []*sgNode) *sgNode {
+		return c.mkINV(c.mkAND(c.mkOR(v[0], v[1]), c.mkOR(v[2], v[3])))
+	}},
+	cell.FOAI211: {
+		func(c *sgCtx, v []*sgNode) *sgNode {
+			return c.mkINV(c.balancedAnd([]*sgNode{c.mkOR(v[0], v[1]), v[2], v[3]}))
+		},
+		func(c *sgCtx, v []*sgNode) *sgNode {
+			return c.mkINV(c.mkAND(c.mkOR(v[0], v[1]), c.mkAND(v[2], v[3])))
+		},
+	},
+	cell.FAO21: {func(c *sgCtx, v []*sgNode) *sgNode {
+		return c.mkOR(c.mkAND(v[0], v[1]), v[2])
+	}},
+	cell.FAO22: {func(c *sgCtx, v []*sgNode) *sgNode {
+		return c.mkOR(c.mkAND(v[0], v[1]), c.mkAND(v[2], v[3]))
+	}},
+	cell.FOA21: {func(c *sgCtx, v []*sgNode) *sgNode {
+		return c.mkAND(c.mkOR(v[0], v[1]), v[2])
+	}},
+	cell.FOA22: {func(c *sgCtx, v []*sgNode) *sgNode {
+		return c.mkAND(c.mkOR(v[0], v[1]), c.mkOR(v[2], v[3]))
+	}},
+	cell.FMUX21: {func(c *sgCtx, v []*sgNode) *sgNode {
+		// out = a·!s + b·s with s = pin 2.
+		return c.mkOR(c.mkAND(v[0], c.mkINV(v[2])), c.mkAND(v[1], v[2]))
+	}},
+	cell.FMAJ3: {func(c *sgCtx, v []*sgNode) *sgNode {
+		return c.balancedOr([]*sgNode{
+			c.mkAND(v[0], v[1]), c.mkAND(v[1], v[2]), c.mkAND(v[0], v[2]),
+		})
+	}},
+}
+
+var (
+	patOnce sync.Once
+	patSet  []*pattern
+)
+
+// patterns returns the shared pattern set, built once. Functions are visited
+// in a fixed order so that cost ties break identically on every run.
+func patterns() []*pattern {
+	patOnce.Do(func() {
+		fns := make([]cell.Func, 0, len(patternSpecs))
+		for fn := range patternSpecs {
+			fns = append(fns, fn)
+		}
+		sort.Slice(fns, func(i, j int) bool { return fns[i] < fns[j] })
+		for _, fn := range fns {
+			builders := patternSpecs[fn]
+			n := fn.NumInputs()
+			for _, b := range builders {
+				ctx := newSgCtx()
+				vars := make([]*sgNode, n)
+				for i := range vars {
+					vars[i] = ctx.mkLeaf(i)
+				}
+				root := b(ctx, vars)
+				patSet = append(patSet, &pattern{fn: fn, root: root, numVars: n})
+			}
+		}
+	})
+	return patSet
+}

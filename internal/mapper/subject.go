@@ -1,0 +1,243 @@
+// Package mapper is the technology mapper standing in for SIS's "map"
+// command in the paper's flow. It lowers a technology-independent SOP network
+// onto the dual-voltage cell library in two steps that mirror the paper's
+// setup: a minimum-delay covering ("map -n1 -AFG" with zero required time),
+// and an area-recovery pass run against a timing constraint loosened by 20%,
+// so that the mapped circuit's critical path sits at the constraint — the
+// exact starting condition CVS, Dscale and Gscale assume.
+//
+// The covering itself is classic DAGON-style tree covering: the network is
+// decomposed into a NAND2/inverter subject graph (with structural hashing),
+// the graph is split into trees at multi-fanout points, cell patterns are
+// themselves NAND2/inverter trees, and dynamic programming picks the best
+// match per subject node.
+package mapper
+
+import (
+	"fmt"
+
+	"dualvdd/internal/logic"
+)
+
+// sgKind is the subject-graph node kind.
+type sgKind uint8
+
+const (
+	sgLeaf sgKind = iota // reference to a primary input (or pattern variable)
+	sgNAND
+	sgINV
+)
+
+// sgNode is a node of the NAND2/INV subject graph. Nodes are hash-consed
+// within a context, so structurally equal subexpressions are shared and the
+// graph is a leaf-DAG.
+type sgNode struct {
+	id   int
+	kind sgKind
+	// fan holds the children: fan[0] for INV, fan[0] and fan[1] for NAND.
+	fan [2]*sgNode
+	// leaf is the PI signal index for subject leaves, or the variable (pin)
+	// index for pattern leaves.
+	leaf int
+	// nfo is the consumer count among nodes reachable from the outputs.
+	nfo int
+}
+
+// sgCtx is a hash-consing context for subject or pattern construction.
+type sgCtx struct {
+	nodes  []*sgNode
+	byKey  map[[3]int]*sgNode
+	leaves map[int]*sgNode
+}
+
+func newSgCtx() *sgCtx {
+	return &sgCtx{byKey: make(map[[3]int]*sgNode), leaves: make(map[int]*sgNode)}
+}
+
+func (c *sgCtx) mkLeaf(ref int) *sgNode {
+	if n, ok := c.leaves[ref]; ok {
+		return n
+	}
+	n := &sgNode{id: len(c.nodes), kind: sgLeaf, leaf: ref}
+	c.nodes = append(c.nodes, n)
+	c.leaves[ref] = n
+	return n
+}
+
+func (c *sgCtx) mkINV(x *sgNode) *sgNode {
+	// Double inversions cancel structurally.
+	if x.kind == sgINV {
+		return x.fan[0]
+	}
+	key := [3]int{int(sgINV), x.id, -1}
+	if n, ok := c.byKey[key]; ok {
+		return n
+	}
+	n := &sgNode{id: len(c.nodes), kind: sgINV, fan: [2]*sgNode{x, nil}}
+	c.nodes = append(c.nodes, n)
+	c.byKey[key] = n
+	return n
+}
+
+func (c *sgCtx) mkNAND(x, y *sgNode) *sgNode {
+	// Canonical child order keeps hashing deterministic and match-friendly.
+	if y.id < x.id {
+		x, y = y, x
+	}
+	key := [3]int{int(sgNAND), x.id, y.id}
+	if n, ok := c.byKey[key]; ok {
+		return n
+	}
+	n := &sgNode{id: len(c.nodes), kind: sgNAND, fan: [2]*sgNode{x, y}}
+	c.nodes = append(c.nodes, n)
+	c.byKey[key] = n
+	return n
+}
+
+func (c *sgCtx) mkAND(x, y *sgNode) *sgNode { return c.mkINV(c.mkNAND(x, y)) }
+func (c *sgCtx) mkOR(x, y *sgNode) *sgNode  { return c.mkNAND(c.mkINV(x), c.mkINV(y)) }
+
+// balancedAnd folds a literal list into a balanced AND tree; balancedOr does
+// the same for OR. Using the same shapes for subject and pattern construction
+// is what makes the patterns match.
+func (c *sgCtx) balancedAnd(xs []*sgNode) *sgNode {
+	switch len(xs) {
+	case 0:
+		panic("mapper: empty AND")
+	case 1:
+		return xs[0]
+	}
+	mid := (len(xs) + 1) / 2
+	return c.mkAND(c.balancedAnd(xs[:mid]), c.balancedAnd(xs[mid:]))
+}
+
+func (c *sgCtx) balancedOr(xs []*sgNode) *sgNode {
+	switch len(xs) {
+	case 0:
+		panic("mapper: empty OR")
+	case 1:
+		return xs[0]
+	}
+	mid := (len(xs) + 1) / 2
+	return c.mkOR(c.balancedOr(xs[:mid]), c.balancedOr(xs[mid:]))
+}
+
+// sopToSg lowers an SOP cover to the subject graph, with inputs given as
+// existing subject nodes. Returns nil for constant covers (handled upstream).
+func (c *sgCtx) sopToSg(cubes []logic.Cube, inputs []*sgNode) *sgNode {
+	var terms []*sgNode
+	for _, cube := range cubes {
+		var lits []*sgNode
+		for i := 0; i < len(cube); i++ {
+			switch cube[i] {
+			case '1':
+				lits = append(lits, inputs[i])
+			case '0':
+				lits = append(lits, c.mkINV(inputs[i]))
+			}
+		}
+		if len(lits) == 0 {
+			return nil // tautological cube: constant 1
+		}
+		terms = append(terms, c.balancedAnd(lits))
+	}
+	if len(terms) == 0 {
+		return nil // empty cover: constant 0
+	}
+	return c.balancedOr(terms)
+}
+
+// subject is the fully built subject graph of a network.
+type subject struct {
+	ctx *sgCtx
+	// rootOf maps each live logic signal to its subject node; PIs map to
+	// leaves. Constant nodes are absent and recorded in constOf.
+	rootOf map[logic.Signal]*sgNode
+	// constOf records signals that turned out constant.
+	constOf map[logic.Signal]bool
+	// nameOf names subject nodes that correspond to logic-node outputs, so
+	// mapped gates keep recognisable net names.
+	nameOf map[*sgNode]string
+}
+
+// buildSubject lowers an entire (swept, validated) network into one shared
+// subject graph whose only leaves are primary inputs. Node outputs are not
+// forced to remain explicit: single-fanout logic crosses node boundaries and
+// can be absorbed into one cell, giving the mapper a global view.
+func buildSubject(n *logic.Network) (*subject, error) {
+	order, err := n.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	s := &subject{
+		ctx:     newSgCtx(),
+		rootOf:  make(map[logic.Signal]*sgNode),
+		constOf: make(map[logic.Signal]bool),
+		nameOf:  make(map[*sgNode]string),
+	}
+	for pi := 0; pi < len(n.PIs); pi++ {
+		s.rootOf[logic.Signal(pi)] = s.ctx.mkLeaf(pi)
+	}
+	for _, k := range order {
+		nd := n.Nodes[k]
+		out := n.NodeSignal(k)
+		if isC, v := nd.IsConst(); isC {
+			s.constOf[out] = v
+			continue
+		}
+		inputs := make([]*sgNode, len(nd.Fanin))
+		constIn := false
+		for i, f := range nd.Fanin {
+			if _, ok := s.constOf[f]; ok {
+				constIn = true
+				break
+			}
+			inputs[i] = s.rootOf[f]
+		}
+		if constIn {
+			return nil, fmt.Errorf("mapper: node %s has constant fanins; run Sweep before mapping", nd.Name)
+		}
+		root := s.ctx.sopToSg(nd.Cubes, inputs)
+		if root == nil {
+			// The cover simplified to a constant despite IsConst saying
+			// otherwise (e.g. tautological cube mix).
+			s.constOf[out] = len(nd.Cubes) > 0
+			continue
+		}
+		s.rootOf[out] = root
+		if _, taken := s.nameOf[root]; !taken {
+			s.nameOf[root] = nd.Name
+		}
+	}
+	return s, nil
+}
+
+// countFanouts walks the subject graph from the given output nodes and fills
+// in consumer counts. Returns the set of reachable nodes in topological
+// order (children before parents).
+func countFanouts(outs []*sgNode) []*sgNode {
+	seen := make(map[*sgNode]bool)
+	var order []*sgNode
+	var visit func(n *sgNode)
+	visit = func(n *sgNode) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		switch n.kind {
+		case sgNAND:
+			visit(n.fan[0])
+			visit(n.fan[1])
+			n.fan[0].nfo++
+			n.fan[1].nfo++
+		case sgINV:
+			visit(n.fan[0])
+			n.fan[0].nfo++
+		}
+		order = append(order, n)
+	}
+	for _, o := range outs {
+		visit(o)
+	}
+	return order
+}

@@ -1,0 +1,243 @@
+package netlist
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dualvdd/internal/cell"
+)
+
+var lib = cell.Compass06()
+
+// chain builds PI -> INV -> INV -> ... -> PO with n inverters.
+func chain(n int) *Circuit {
+	c := New("chain")
+	s := c.AddPI("in")
+	inv := lib.Smallest(cell.FINV)
+	for i := 0; i < n; i++ {
+		_, s = c.AddGate(gname(i), inv, s)
+	}
+	c.AddPO("out", s)
+	return c
+}
+
+func gname(i int) string {
+	return "g" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+}
+
+func TestSignalNumbering(t *testing.T) {
+	c := New("t")
+	a := c.AddPI("a")
+	b := c.AddPI("b")
+	gi, out := c.AddGate("x", lib.Smallest(cell.FNAND2), a, b)
+	if a != 0 || b != 1 {
+		t.Fatalf("PI signals = %d,%d", a, b)
+	}
+	if out != 2 || gi != 0 {
+		t.Fatalf("gate signal = %d index %d", out, gi)
+	}
+	if !c.IsPI(a) || c.IsPI(out) {
+		t.Fatal("IsPI misclassifies")
+	}
+	if c.GateIndex(out) != 0 || c.GateIndex(a) != -1 {
+		t.Fatal("GateIndex misclassifies")
+	}
+	if c.SignalName(a) != "a" || c.SignalName(out) != "x" {
+		t.Fatal("SignalName wrong")
+	}
+}
+
+func TestAddPIAfterGatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddPI after AddGate must panic (would renumber signals)")
+		}
+	}()
+	c := New("t")
+	a := c.AddPI("a")
+	c.AddGate("x", lib.Smallest(cell.FINV), a)
+	c.AddPI("b")
+}
+
+func TestTopoOrderChain(t *testing.T) {
+	c := chain(10)
+	order, err := c.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 10 {
+		t.Fatalf("ordered %d gates, want 10", len(order))
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i] <= order[i-1] {
+			t.Fatal("chain order must be strictly increasing by construction")
+		}
+	}
+}
+
+func TestTopoOrderDetectsCycle(t *testing.T) {
+	c := New("cyc")
+	a := c.AddPI("a")
+	inv := lib.Smallest(cell.FINV)
+	nand := lib.Smallest(cell.FNAND2)
+	_, s1 := c.AddGate("g1", inv, a)
+	gi2, s2 := c.AddGate("g2", nand, s1, s1)
+	_, s3 := c.AddGate("g3", inv, s2)
+	c.Gates[gi2].In[1] = s3 // back edge: g3 -> g2
+	c.AddPO("o", s3)
+	if _, err := c.TopoOrder(); err == nil {
+		t.Fatal("cycle undetected")
+	}
+}
+
+func TestValidateCatchesPinMismatch(t *testing.T) {
+	c := New("bad")
+	a := c.AddPI("a")
+	g, _ := c.AddGate("x", lib.Smallest(cell.FNAND2), a) // 1 pin for 2-input cell
+	_ = g
+	if err := c.Validate(); err == nil {
+		t.Fatal("pin-count mismatch undetected")
+	}
+}
+
+func TestValidateCatchesDuplicateNames(t *testing.T) {
+	c := New("dup")
+	a := c.AddPI("a")
+	c.AddGate("x", lib.Smallest(cell.FINV), a)
+	c.AddGate("x", lib.Smallest(cell.FINV), a)
+	if err := c.Validate(); err == nil {
+		t.Fatal("duplicate gate name undetected")
+	}
+}
+
+func TestValidateCatchesDeadReference(t *testing.T) {
+	c := chain(3)
+	c.Gates[1].Dead = true
+	if err := c.Validate(); err == nil {
+		t.Fatal("reference to dead gate undetected")
+	}
+}
+
+func TestDeadGatesExcludedEverywhere(t *testing.T) {
+	c := New("t")
+	a := c.AddPI("a")
+	inv := lib.Smallest(cell.FINV)
+	_, s1 := c.AddGate("g1", inv, a)
+	gi2, _ := c.AddGate("g2", inv, a)
+	c.AddPO("o", s1)
+	c.Gates[gi2].Dead = true
+	if got := c.NumLiveGates(); got != 1 {
+		t.Fatalf("NumLiveGates = %d, want 1", got)
+	}
+	if got := c.Area(); got != inv.Area {
+		t.Fatalf("Area = %v, want one inverter", got)
+	}
+	fan := c.BuildFanouts()
+	if len(fan.Conns[a]) != 1 {
+		t.Fatalf("dead gate still appears in fanouts: %v", fan.Conns[a])
+	}
+	order, err := c.TopoOrder()
+	if err != nil || len(order) != 1 {
+		t.Fatalf("topo over dead gates: %v %v", order, err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	c := chain(5)
+	cl := c.Clone()
+	cl.Gates[0].Volt = cell.VLow
+	cl.Gates[1].Dead = true
+	cl.Gates[2].In[0] = 0
+	if c.Gates[0].Volt == cell.VLow || c.Gates[1].Dead {
+		t.Fatal("clone shares gate state with original")
+	}
+	if c.NumLowGates() != 0 {
+		t.Fatal("original gained low gates via clone")
+	}
+}
+
+func TestLevels(t *testing.T) {
+	c := New("lv")
+	a := c.AddPI("a")
+	b := c.AddPI("b")
+	nand := lib.Smallest(cell.FNAND2)
+	_, s1 := c.AddGate("g1", nand, a, b)
+	_, s2 := c.AddGate("g2", nand, s1, b)
+	c.AddPO("o", s2)
+	lv, err := c.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lv[a] != 0 || lv[s1] != 1 || lv[s2] != 2 {
+		t.Fatalf("levels = %v", lv)
+	}
+}
+
+func TestCollectStats(t *testing.T) {
+	c := chain(4)
+	c.Gates[0].Volt = cell.VLow
+	st := c.CollectStats()
+	if st.Gates != 4 || st.LowGates != 1 || st.PIs != 1 || st.POs != 1 || st.Depth != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFanoutDegreeCountsPOs(t *testing.T) {
+	c := New("t")
+	a := c.AddPI("a")
+	_, s := c.AddGate("g", lib.Smallest(cell.FINV), a)
+	c.AddPO("o1", s)
+	c.AddPO("o2", s)
+	fan := c.BuildFanouts()
+	if fan.Degree(s) != 2 {
+		t.Fatalf("degree = %d, want 2 POs", fan.Degree(s))
+	}
+}
+
+// TestRandomCircuitInvariants is a property test: random DAG circuits always
+// validate, their topological order respects edges, and cloning preserves
+// stats.
+func TestRandomCircuitInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := New("rand")
+		nPI := 2 + rng.Intn(5)
+		for i := 0; i < nPI; i++ {
+			c.AddPI("pi" + string(rune('a'+i)))
+		}
+		nand := lib.Smallest(cell.FNAND2)
+		inv := lib.Smallest(cell.FINV)
+		for k := 0; k < 30; k++ {
+			n := c.NumSignals()
+			if rng.Intn(2) == 0 {
+				c.AddGate(gname(k), inv, Signal(rng.Intn(n)))
+			} else {
+				c.AddGate(gname(k), nand, Signal(rng.Intn(n)), Signal(rng.Intn(n)))
+			}
+		}
+		c.AddPO("o", Signal(c.NumSignals()-1))
+		if err := c.Validate(); err != nil {
+			return false
+		}
+		order, err := c.TopoOrder()
+		if err != nil {
+			return false
+		}
+		pos := make(map[int]int)
+		for i, gi := range order {
+			pos[gi] = i
+		}
+		for gi, g := range c.Gates {
+			for _, s := range g.In {
+				if di := c.GateIndex(s); di >= 0 && pos[di] >= pos[gi] {
+					return false
+				}
+			}
+		}
+		return c.Clone().CollectStats() == c.CollectStats()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,86 @@
+// Package power implements the switching-power model of the paper's equation
+// (1): P = a0→1 · fclk · Cload · Vdd², evaluated per gate with the gate's own
+// supply voltage, plus the overheads of level-restoration circuitry. Combined
+// with the random-vector activities from package sim it reproduces the
+// "generic SIS power estimation function" used for Tables 1 and 2.
+package power
+
+import (
+	"dualvdd/internal/cell"
+	"dualvdd/internal/netlist"
+	"dualvdd/internal/sim"
+	"dualvdd/internal/sta"
+)
+
+// DefaultClock is the simulation clock frequency the paper uses (20 MHz).
+const DefaultClock = 20e6
+
+// Breakdown is a power estimate with its components, all in watts.
+type Breakdown struct {
+	// Total = Switching + Internal + LCStatic. InputNets is reported
+	// separately and excluded: charging the primary-input nets is paid by
+	// the environment driving the block, as in the SIS estimate.
+	Total float64
+	// Switching is the output-net charging power of all gates.
+	Switching float64
+	// Internal is the internal (equivalent-capacitance) power of all gates.
+	Internal float64
+	// LCStatic is the standing power of level converters (the DC component
+	// of restoration circuitry that makes Dscale's gains "quite limited").
+	LCStatic float64
+	// InputNets is the power the environment spends charging primary-input
+	// nets; it grows when sizing enlarges input pins.
+	InputNets float64
+	// PerGate is the attributable power per gate index (switching+internal,
+	// plus static for LCs).
+	PerGate []float64
+}
+
+// Switch returns the switching power of one net: activity × clock × load ×
+// Vdd².
+func Switch(act, fclk, loadPF, vdd float64) float64 {
+	return act * fclk * loadPF * 1e-12 * vdd * vdd
+}
+
+// Estimate computes the power breakdown of a circuit from per-signal
+// activities (as produced by sim.Run) at clock frequency fclk.
+func Estimate(c *netlist.Circuit, lib *cell.Library, act []float64, fclk float64) *Breakdown {
+	fan := c.BuildFanouts()
+	load := sta.Loads(c, lib, fan)
+	b := &Breakdown{PerGate: make([]float64, len(c.Gates))}
+	for gi, g := range c.Gates {
+		if g.Dead {
+			continue
+		}
+		out := c.GateSignal(gi)
+		vdd := lib.VddOf(g.Volt)
+		sw := Switch(act[out], fclk, load[out], vdd)
+		in := Switch(act[out], fclk, g.Cell.InternalCap, vdd)
+		p := sw + in
+		b.Switching += sw
+		b.Internal += in
+		if g.IsLC {
+			b.LCStatic += lib.LCStaticPower
+			p += lib.LCStaticPower
+		}
+		b.PerGate[gi] = p
+	}
+	for pi := 0; pi < c.NumPIs(); pi++ {
+		b.InputNets += Switch(act[pi], fclk, load[pi], lib.Vhigh)
+	}
+	b.Total = b.Switching + b.Internal + b.LCStatic
+	return b
+}
+
+// EstimateRandom is the one-call flow the evaluation uses: simulate words×64
+// random vectors with the given seed, then estimate power at fclk.
+func EstimateRandom(c *netlist.Circuit, lib *cell.Library, words int, seed uint64, fclk float64) (*Breakdown, *sim.Result, error) {
+	r, err := sim.Run(c, words, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	return Estimate(c, lib, r.Act, fclk), r, nil
+}
+
+// MicroWatts converts watts to the µW unit Table 1 reports.
+func MicroWatts(w float64) float64 { return w * 1e6 }

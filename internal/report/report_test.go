@@ -1,0 +1,112 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleRows() []Row {
+	return []Row{
+		{Name: "C880", OrgPwrUW: 80, CVSPct: 15, DscalePct: 17, GscalePct: 22,
+			OrgGates: 157, CVSLow: 105, CVSRatio: 0.67, DscaleLow: 111, DscaleRatio: 0.71,
+			GscaleLow: 148, GscRatio: 0.94, Sized: 18, AreaInc: 0.095},
+		{Name: "mux", OrgPwrUW: 18, CVSPct: 0, DscalePct: 0, GscalePct: 12,
+			OrgGates: 46, GscRatio: 0.5, Sized: 4, AreaInc: 0.03},
+	}
+}
+
+func TestPaperTableComplete(t *testing.T) {
+	if len(Paper) != 39 {
+		t.Fatalf("paper table has %d rows, want 39", len(Paper))
+	}
+	// Spot checks against the publication.
+	r, ok := PaperByName("des")
+	if !ok || r.OrgGates != 2795 || r.GscalePct != 22.10 {
+		t.Fatalf("des row wrong: %+v", r)
+	}
+	if _, ok := PaperByName("ghost"); ok {
+		t.Fatal("unknown circuit found in paper table")
+	}
+	// The published averages must match the published rows.
+	var cvs, ds, gs float64
+	for _, row := range Paper {
+		cvs += row.CVSPct
+		ds += row.DscalePct
+		gs += row.GscalePct
+	}
+	n := float64(len(Paper))
+	if diff := cvs/n - PaperAverages.CVSPct; diff > 0.01 || diff < -0.01 {
+		t.Fatalf("CVS average mismatch: computed %.2f, published %.2f", cvs/n, PaperAverages.CVSPct)
+	}
+	if diff := ds/n - PaperAverages.DscalePct; diff > 0.01 || diff < -0.01 {
+		t.Fatalf("Dscale average mismatch: computed %.2f, published %.2f", ds/n, PaperAverages.DscalePct)
+	}
+	if diff := gs/n - PaperAverages.GscalePct; diff > 0.01 || diff < -0.01 {
+		t.Fatalf("Gscale average mismatch: computed %.2f, published %.2f", gs/n, PaperAverages.GscalePct)
+	}
+}
+
+func TestAverages(t *testing.T) {
+	avg := Averages(sampleRows())
+	if avg.CVSPct != 7.5 || avg.GscalePct != 17 {
+		t.Fatalf("averages wrong: %+v", avg)
+	}
+	if empty := Averages(nil); empty.CVSPct != 0 {
+		t.Fatal("empty average not zero")
+	}
+}
+
+func TestWriteTables(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTable1(&buf, sampleRows()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 1", "C880", "mux", "average"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table 1 missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := WriteTable2(&buf, sampleRows()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Profiles") {
+		t.Fatal("table 2 header missing")
+	}
+	buf.Reset()
+	if err := WriteMarkdown(&buf, sampleRows()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "| C880 |") {
+		t.Fatal("markdown row missing")
+	}
+}
+
+func TestShapeChecksPass(t *testing.T) {
+	rows := sampleRows()
+	if fails := ShapeChecks(rows); len(fails) != 0 {
+		t.Fatalf("clean rows flagged: %v", fails)
+	}
+}
+
+func TestShapeChecksCatchViolations(t *testing.T) {
+	rows := sampleRows()
+	rows[0].DscalePct = rows[0].CVSPct - 2 // Dscale below CVS
+	if fails := ShapeChecks(rows); len(fails) == 0 {
+		t.Fatal("Dscale<CVS not flagged")
+	}
+	rows = sampleRows()
+	rows[1].AreaInc = 0.25
+	if fails := ShapeChecks(rows); len(fails) == 0 {
+		t.Fatal("area bust not flagged")
+	}
+}
+
+func TestRowString(t *testing.T) {
+	s := sampleRows()[0].String()
+	if !strings.Contains(s, "C880") || !strings.Contains(s, "Gscale=22.00%") {
+		t.Fatalf("row string: %s", s)
+	}
+}

@@ -1,0 +1,194 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"dualvdd/internal/cell"
+	"dualvdd/internal/netlist"
+)
+
+var lib = cell.Compass06()
+
+func TestRunDeterministic(t *testing.T) {
+	c := xorCircuit()
+	a, err := Run(c, 64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(c, 64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range a.Act {
+		if a.Act[s] != b.Act[s] {
+			t.Fatal("same seed, different activities")
+		}
+	}
+	d, err := Run(c, 64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for s := range a.Act {
+		if a.Act[s] != d.Act[s] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical activities")
+	}
+}
+
+func xorCircuit() *netlist.Circuit {
+	c := netlist.New("x")
+	a := c.AddPI("a")
+	b := c.AddPI("b")
+	_, s := c.AddGate("x", lib.Smallest(cell.FXOR2), a, b)
+	c.AddPO("o", s)
+	return c
+}
+
+func TestActivityStatistics(t *testing.T) {
+	// Random PIs: probability of one ~0.5, rise activity ~0.25 (p0·p1).
+	// XOR of two random inputs behaves the same.
+	c := xorCircuit()
+	r, err := Run(c, 512, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < c.NumSignals(); s++ {
+		if math.Abs(r.ProbOne[s]-0.5) > 0.03 {
+			t.Fatalf("signal %d probability %.3f, want ~0.5", s, r.ProbOne[s])
+		}
+		if math.Abs(r.Act[s]-0.25) > 0.03 {
+			t.Fatalf("signal %d activity %.3f, want ~0.25", s, r.Act[s])
+		}
+	}
+}
+
+func TestActivityOfAND(t *testing.T) {
+	// AND of two random inputs: p1 = 1/4, so rises = p0·p1 = 3/16.
+	c := netlist.New("and")
+	a := c.AddPI("a")
+	b := c.AddPI("b")
+	_, s := c.AddGate("g", lib.Smallest(cell.FAND2), a, b)
+	c.AddPO("o", s)
+	r, err := Run(c, 512, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.ProbOne[s]-0.25) > 0.02 {
+		t.Fatalf("AND probability %.3f, want ~0.25", r.ProbOne[s])
+	}
+	if math.Abs(r.Act[s]-3.0/16) > 0.02 {
+		t.Fatalf("AND activity %.3f, want ~%.3f", r.Act[s], 3.0/16)
+	}
+}
+
+func TestTieCellsNeverSwitch(t *testing.T) {
+	c := netlist.New("tie")
+	c.AddPI("a")
+	_, s := c.AddGate("one", lib.Smallest(cell.FTIE1))
+	c.AddPO("o", s)
+	r, err := Run(c, 64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Act[s] != 0 || r.ProbOne[s] != 1 {
+		t.Fatalf("tie-1: activity %.3f probability %.3f", r.Act[s], r.ProbOne[s])
+	}
+}
+
+func TestWordBoundaryTransitionsCounted(t *testing.T) {
+	// An inverter chain's activity equals its input's: every input rise is
+	// an output fall and vice versa; with two inverters they match exactly.
+	c := netlist.New("chain")
+	s := c.AddPI("a")
+	inv := lib.Smallest(cell.FINV)
+	_, s1 := c.AddGate("i1", inv, s)
+	_, s2 := c.AddGate("i2", inv, s1)
+	c.AddPO("o", s2)
+	r, err := Run(c, 128, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Act[s] != r.Act[s2] {
+		t.Fatalf("double inversion changed activity: %.4f vs %.4f", r.Act[s], r.Act[s2])
+	}
+	// The inverted net's rises are the input's falls; for a 0.5-probability
+	// signal these agree within sampling error but not exactly — just check
+	// plausibility.
+	if math.Abs(r.Act[s1]-r.Act[s]) > 0.02 {
+		t.Fatalf("inverter activity implausible: %.4f vs %.4f", r.Act[s1], r.Act[s])
+	}
+}
+
+func TestRunSkipsDeadGates(t *testing.T) {
+	c := xorCircuit()
+	gi, _ := c.AddGate("dead", lib.Smallest(cell.FINV), 0)
+	c.Gates[gi].Dead = true
+	r, err := Run(c, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Act[c.GateSignal(gi)] != 0 {
+		t.Fatal("dead gate accumulated activity")
+	}
+}
+
+func TestEvalMatchesTruthTable(t *testing.T) {
+	// Build one gate of every library function and compare Eval against the
+	// cell's own truth table row by row.
+	for fn := cell.FINV; fn <= cell.FMAJ3; fn++ {
+		cl := lib.Smallest(fn)
+		if cl == nil {
+			t.Fatalf("library lacks %s", fn)
+		}
+		c := netlist.New("f")
+		ins := make([]netlist.Signal, fn.NumInputs())
+		for i := range ins {
+			ins[i] = c.AddPI(fmt.Sprintf("i%d", i))
+		}
+		_, out := c.AddGate("g", cl, ins...)
+		c.AddPO("o", out)
+		// Drive exhaustive rows packed into words.
+		words := make([]uint64, len(ins))
+		for i := range words {
+			var w uint64
+			for row := 0; row < 64; row++ {
+				if row>>uint(i)&1 == 1 {
+					w |= 1 << uint(row)
+				}
+			}
+			words[i] = w
+		}
+		got, err := Eval(c, words)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := uint(1) << uint(fn.NumInputs())
+		mask := ^uint64(0)
+		if rows < 64 {
+			mask = (uint64(1) << rows) - 1
+		}
+		if got[0]&mask != fn.TruthTable()&mask {
+			t.Fatalf("%s: Eval %x != truth table %x", fn, got[0]&mask, fn.TruthTable())
+		}
+	}
+}
+
+func TestEvalBadInputCount(t *testing.T) {
+	c := xorCircuit()
+	if _, err := Eval(c, []uint64{1}); err == nil {
+		t.Fatal("wrong PI word count accepted")
+	}
+}
+
+func TestRunRejectsZeroWords(t *testing.T) {
+	c := xorCircuit()
+	if _, err := Run(c, 0, 1); err == nil {
+		t.Fatal("zero simulation length accepted")
+	}
+}
