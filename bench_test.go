@@ -17,8 +17,11 @@ import (
 	"testing"
 
 	"dualvdd"
+	"dualvdd/internal/cell"
 	"dualvdd/internal/harness"
+	"dualvdd/internal/netlist"
 	"dualvdd/internal/report"
+	"dualvdd/internal/sta"
 )
 
 // smallSuite is the subset used where running all 39 circuits would be too
@@ -50,6 +53,13 @@ func BenchmarkTable1(b *testing.B) {
 			b.ReportMetric(row.CVSPct, "CVS_%")
 			b.ReportMetric(row.DscalePct, "Dscale_%")
 			b.ReportMetric(row.GscalePct, "Gscale_%")
+			// Scaling-loop wall time per algorithm: the incremental-STA
+			// speedup shows up here, independently of prepare/sim cost.
+			b.ReportMetric(row.CVSSec*1e3, "CVS_ms")
+			b.ReportMetric(row.DscaleSec*1e3, "Dscale_ms")
+			b.ReportMetric(row.CPUSec*1e3, "Gscale_ms")
+			b.ReportMetric(float64(row.DscaleEvals), "Dscale_staEvals")
+			b.ReportMetric(float64(row.GscaleEvals), "Gscale_staEvals")
 		})
 	}
 }
@@ -181,6 +191,66 @@ func BenchmarkAblationMaxIter(b *testing.B) {
 				pct = res.ImprovePct
 			}
 			b.ReportMetric(pct, "Gscale_%")
+		})
+	}
+}
+
+// BenchmarkIncrementalSTA pits the incremental timing engine against a full
+// re-analysis per mutation on the largest routine circuits: the per-move
+// cost that dominates every scaling loop. The mutation trace alternates
+// voltage flips and resizes across the circuit, mimicking what CVS/Dscale/
+// Gscale apply.
+func BenchmarkIncrementalSTA(b *testing.B) {
+	cfg := dualvdd.DefaultConfig()
+	for _, name := range []string{"C880", "alu2", "des"} {
+		d, err := dualvdd.PrepareBenchmark(name, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mutations := func(ckt *netlist.Circuit) []int {
+			var gis []int
+			for gi, g := range ckt.Gates {
+				if !g.Dead && !g.IsLC {
+					gis = append(gis, gi)
+				}
+			}
+			return gis
+		}
+		b.Run("full/"+name, func(b *testing.B) {
+			ckt := d.Circuit.Clone()
+			gis := mutations(ckt)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				gi := gis[i%len(gis)]
+				g := ckt.Gates[gi]
+				if g.Volt == cell.VHigh {
+					g.Volt = cell.VLow
+				} else {
+					g.Volt = cell.VHigh
+				}
+				if _, err := sta.Analyze(ckt, d.Lib, d.Tspec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("incremental/"+name, func(b *testing.B) {
+			ckt := d.Circuit.Clone()
+			gis := mutations(ckt)
+			inc, err := sta.NewIncremental(ckt, d.Lib, d.Tspec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				gi := gis[i%len(gis)]
+				if ckt.Gates[gi].Volt == cell.VHigh {
+					inc.SetVolt(gi, cell.VLow)
+				} else {
+					inc.SetVolt(gi, cell.VHigh)
+				}
+				inc.Commit()
+			}
+			b.ReportMetric(float64(inc.Evals())/float64(b.N), "evals/op")
 		})
 	}
 }

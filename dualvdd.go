@@ -165,6 +165,11 @@ type FlowResult struct {
 	AreaIncrease float64
 	// Runtime is the wall-clock time of the algorithm itself.
 	Runtime time.Duration
+	// STAEvals counts per-gate incremental timing evaluations spent by the
+	// run — the work a full re-analysis per move would multiply by the
+	// circuit size. The ratio STAEvals/(moves × gates) is the incremental
+	// engine's win.
+	STAEvals int64
 	// Circuit is the scaled clone, for inspection or BLIF export.
 	Circuit *netlist.Circuit
 }
@@ -219,6 +224,7 @@ func (d *Design) run(name string, algo func(*netlist.Circuit, *cell.Library, cor
 		Sized:        cres.Sized,
 		AreaIncrease: ckt.Area()/d.Circuit.Area() - 1,
 		Runtime:      elapsed,
+		STAEvals:     cres.STAEvals,
 		Circuit:      ckt,
 	}
 	if gates > 0 {

@@ -1,0 +1,3 @@
+module dualvdd
+
+go 1.21

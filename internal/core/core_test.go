@@ -361,7 +361,7 @@ func TestEvalCandidateAccountsLevelConverter(t *testing.T) {
 	_, s2 := c.AddGate("v", inv, s1)
 	c.AddPO("o", s2)
 	tspec := tspecOf(t, c) * 3 // plenty of slack
-	tm, err := sta.Analyze(c, lib, tspec)
+	inc, err := sta.NewIncremental(c, lib, tspec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -369,8 +369,7 @@ func TestEvalCandidateAccountsLevelConverter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fan := tm.Fanouts()
-	cand, _ := evalCandidate(c, lib, tm, fan, r.Act, 20e6, 0)
+	cand, _ := evalCandidate(c, lib, inc, r.Act, 20e6, 0)
 	if !cand.needLC {
 		t.Fatal("candidate u drives high gate v: must need a level converter")
 	}
@@ -378,8 +377,8 @@ func TestEvalCandidateAccountsLevelConverter(t *testing.T) {
 		t.Fatal("LC delay not charged")
 	}
 	// The same gate with its consumer already low needs no converter.
-	c.Gates[1].Volt = cell.VLow
-	cand2, _ := evalCandidate(c, lib, tm, fan, r.Act, 20e6, 0)
+	inc.SetVolt(1, cell.VLow)
+	cand2, _ := evalCandidate(c, lib, inc, r.Act, 20e6, 0)
 	if cand2.needLC || cand2.lcDelay != 0 {
 		t.Fatal("no converter needed for low consumer")
 	}
@@ -398,12 +397,24 @@ func TestApplyLowInsertsSharedConverter(t *testing.T) {
 	c.AddGate("c2", inv, s)
 	c.AddPO("o1", c.GateSignal(1))
 	c.AddPO("o2", c.GateSignal(2))
-	fan := c.BuildFanouts()
-	if err := applyLow(c, lib, fan, 0); err != nil {
+	inc, err := sta.NewIncremental(c, lib, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	act := make([]float64, c.NumSignals())
+	act[int(s)] = 0.25
+	act, err = applyLow(c, lib, inc, act, 0)
+	if err != nil {
 		t.Fatal(err)
 	}
 	if got := c.NumLCs(); got != 1 {
 		t.Fatalf("%d converters inserted, want 1 shared", got)
+	}
+	if got := act[c.NumSignals()-1]; got != 0.25 {
+		t.Fatalf("converter activity not aliased from its source: %v", got)
+	}
+	if err := inc.Check(0); err != nil {
+		t.Fatalf("incremental state stale after applyLow: %v", err)
 	}
 	lcSig := c.GateSignal(3)
 	if c.Gates[1].In[0] != lcSig || c.Gates[2].In[0] != lcSig {
@@ -437,6 +448,64 @@ func TestGreedySelectNeverBeatsMWIS(t *testing.T) {
 		pG := measurePower(t, c2, optsG)
 		if pG < pM*0.98 {
 			t.Fatalf("seed %d: greedy (%.4g) beat MWIS (%.4g) by >2%%: selection bug", seed, pG, pM)
+		}
+	}
+}
+
+func TestAlgorithmsSelfCheckAgainstFullSTA(t *testing.T) {
+	// Differential harness at algorithm level: with SelfCheck on, every
+	// Dscale round, Gscale iteration and CVS run cross-validates the
+	// incremental engine against a fresh sta.Analyze. This drives the
+	// structural mutation paths (LC insertion, pin rewiring, converter
+	// removal) the pure sta-level differential tests cannot reach.
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed + 300))
+		c := randomCircuit(rng, 9, 120)
+		tspec := 1.1 * tspecOf(t, c)
+		opts := DefaultOptions(tspec)
+		opts.SimWords = 32
+		opts.SelfCheck = true
+		if _, err := Dscale(c.Clone(), lib, opts); err != nil {
+			t.Fatalf("seed %d: Dscale self-check: %v", seed, err)
+		}
+		if _, err := Gscale(c.Clone(), lib, opts); err != nil {
+			t.Fatalf("seed %d: Gscale self-check: %v", seed, err)
+		}
+		if _, err := RunCVS(c.Clone(), lib, opts); err != nil {
+			t.Fatalf("seed %d: CVS self-check: %v", seed, err)
+		}
+	}
+}
+
+func TestIncrementalPathMatchesReferenceResults(t *testing.T) {
+	// The incremental rewrite must not move a single number: re-run the
+	// algorithms with SelfCheck (which keeps validating state against the
+	// oracle) and make sure power-relevant outcomes (lowered gates, LCs,
+	// sizing, iterations) are invariant across repeated runs.
+	rng := rand.New(rand.NewSource(77))
+	c := randomCircuit(rng, 10, 160)
+	tspec := 1.1 * tspecOf(t, c)
+	opts := DefaultOptions(tspec)
+	opts.SimWords = 32
+	run := func(algo func(*netlist.Circuit, *cell.Library, Options) (*Result, error)) (Result, Result) {
+		a, err := algo(c.Clone(), lib, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chk := opts
+		chk.SelfCheck = true
+		b, err := algo(c.Clone(), lib, chk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return *a, *b
+	}
+	for name, algo := range map[string]func(*netlist.Circuit, *cell.Library, Options) (*Result, error){
+		"Dscale": Dscale, "Gscale": Gscale, "CVS": RunCVS,
+	} {
+		a, b := run(algo)
+		if a.Lowered != b.Lowered || a.LCs != b.LCs || a.Sized != b.Sized || a.Iterations != b.Iterations {
+			t.Fatalf("%s: self-checked run diverged: %+v vs %+v", name, a, b)
 		}
 	}
 }

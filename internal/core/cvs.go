@@ -15,8 +15,6 @@ type CVSResult struct {
 	// TCB is the time-critical boundary: gates that border the low cluster
 	// (or the POs) and would violate timing if scaled (paper §2).
 	TCB []int
-	// Timing is the final timing annotation.
-	Timing *sta.Timing
 }
 
 // CVS runs clustered voltage scaling: a single reverse-topological sweep from
@@ -27,13 +25,21 @@ type CVSResult struct {
 // is how Gscale pushes the TCB): already-low gates are kept and the cluster
 // is extended from its current boundary.
 func CVS(ckt *netlist.Circuit, lib *cell.Library, tspec, eps float64) (*CVSResult, error) {
-	t, err := sta.Analyze(ckt, lib, tspec)
+	inc, err := sta.NewIncremental(ckt, lib, tspec)
 	if err != nil {
 		return nil, err
 	}
+	return cvsOn(inc, ckt, eps)
+}
+
+// cvsOn is CVS on a live incremental engine, so Gscale's repeated TCB pushes
+// and Dscale's initial clustering share one timing state. Each accepted move
+// re-times only the affected cones (the paper's update_timing) instead of the
+// whole circuit.
+func cvsOn(inc *sta.Incremental, ckt *netlist.Circuit, eps float64) (*CVSResult, error) {
 	res := &CVSResult{}
-	order := t.Order()
-	fan := t.Fanouts()
+	order := inc.Order()
+	fan := inc.Fanouts()
 	for i := len(order) - 1; i >= 0; i-- {
 		gi := order[i]
 		g := ckt.Gates[gi]
@@ -45,24 +51,18 @@ func CVS(ckt *netlist.Circuit, lib *cell.Library, tspec, eps float64) (*CVSResul
 			continue
 		}
 		out := ckt.GateSignal(gi)
-		delta := t.DeltaLow(ckt, lib, gi)
-		if t.Slack[out]-delta >= eps {
-			g.Volt = cell.VLow
-			res.Lowered++
+		delta := inc.DeltaLow(gi)
+		if inc.Slack[out]-delta >= eps {
 			// update_timing: arrivals grow downstream and required times
-			// shrink upstream, so gates examined later (our fanins) need
+			// shrink upstream, so gates examined later (our fanins) see
 			// fresh slacks.
-			t, err = sta.Analyze(ckt, lib, tspec)
-			if err != nil {
-				return nil, err
-			}
-			fan = t.Fanouts()
+			inc.SetVolt(gi, cell.VLow)
+			res.Lowered++
 			continue
 		}
 		res.TCB = append(res.TCB, gi)
 	}
 	sort.Ints(res.TCB)
-	res.Timing = t
 	return res, nil
 }
 
@@ -70,8 +70,15 @@ func CVS(ckt *netlist.Circuit, lib *cell.Library, tspec, eps float64) (*CVSResul
 // use with Dscale and Gscale.
 func RunCVS(ckt *netlist.Circuit, lib *cell.Library, opts Options) (*Result, error) {
 	areaBefore := ckt.Area()
-	r, err := CVS(ckt, lib, opts.Tspec, opts.Eps)
+	inc, err := sta.NewIncremental(ckt, lib, opts.Tspec)
 	if err != nil {
+		return nil, err
+	}
+	r, err := cvsOn(inc, ckt, opts.Eps)
+	if err != nil {
+		return nil, err
+	}
+	if err := selfCheck(inc, opts); err != nil {
 		return nil, err
 	}
 	return &Result{
@@ -80,5 +87,15 @@ func RunCVS(ckt *netlist.Circuit, lib *cell.Library, opts Options) (*Result, err
 		AreaIncrease: ckt.Area()/areaBefore - 1,
 		Iterations:   1,
 		TCB:          r.TCB,
+		STAEvals:     inc.Evals(),
 	}, nil
+}
+
+// selfCheck cross-validates the incremental engine against a fresh full
+// analysis when Options.SelfCheck is set — the differential harness hook.
+func selfCheck(inc *sta.Incremental, opts Options) error {
+	if !opts.SelfCheck {
+		return nil
+	}
+	return inc.Check(1e-9)
 }

@@ -27,12 +27,13 @@ type candidate struct {
 
 // evalCandidate implements the paper's check_timing plus power weighting for
 // one high-voltage gate: could it take Vlow within its slack, and what would
-// the exact net power gain be once level-restoration costs are charged?
-func evalCandidate(ckt *netlist.Circuit, lib *cell.Library, t *sta.Timing,
-	fan *netlist.Fanouts, act []float64, fclk float64, gi int) (candidate, bool) {
+// the exact net power gain be once level-restoration costs are charged? It
+// reads the live incremental annotation; nothing is recomputed globally.
+func evalCandidate(ckt *netlist.Circuit, lib *cell.Library, inc *sta.Incremental,
+	act []float64, fclk float64, gi int) (candidate, bool) {
 	g := ckt.Gates[gi]
 	out := ckt.GateSignal(gi)
-	conns := fan.Conns[out]
+	conns := inc.Fanouts().Conns[out]
 
 	// Split consumers: high-voltage gates will hang off a level converter;
 	// low gates and POs stay directly connected.
@@ -46,7 +47,7 @@ func evalCandidate(ckt *netlist.Circuit, lib *cell.Library, t *sta.Timing,
 		}
 	}
 	lc := lib.LevelConverter()
-	oldLoad := t.Load[out]
+	oldLoad := inc.Load[out]
 	newLoad := oldLoad
 	lcLoad := 0.0
 	if nHigh > 0 {
@@ -62,12 +63,12 @@ func evalCandidate(ckt *netlist.Circuit, lib *cell.Library, t *sta.Timing,
 	derate := lib.LowDerate()
 	newArr := 0.0
 	for pin, s := range g.In {
-		a := t.Arrival[s] + g.Cell.Delay(pin, newLoad, derate)
+		a := inc.Arrival[s] + g.Cell.Delay(pin, newLoad, derate)
 		if a > newArr {
 			newArr = a
 		}
 	}
-	deltaArr := newArr - t.Arrival[out]
+	deltaArr := newArr - inc.Arrival[out]
 	lcDelay := 0.0
 	if nHigh > 0 {
 		lcDelay = lc.MaxDelay(lcLoad, 1.0)
@@ -93,23 +94,32 @@ func evalCandidate(ckt *netlist.Circuit, lib *cell.Library, t *sta.Timing,
 // whose net power gain is positive, selects a maximum-weight independent set
 // of them on the circuit's transitive graph — so per-round penalties can
 // never accumulate along one path — applies Vlow, inserts level converters
-// at low→high boundaries, and re-times. It stops when candSet is empty.
+// at low→high boundaries, and re-times incrementally. It stops when candSet
+// is empty.
 func Dscale(ckt *netlist.Circuit, lib *cell.Library, opts Options) (*Result, error) {
 	areaBefore := ckt.Area()
-	if _, err := CVS(ckt, lib, opts.Tspec, opts.Eps); err != nil {
+	inc, err := sta.NewIncremental(ckt, lib, opts.Tspec)
+	if err != nil {
 		return nil, err
 	}
+	if _, err := cvsOn(inc, ckt, opts.Eps); err != nil {
+		return nil, err
+	}
+	// Switching activities are a property of the logic alone: voltage moves
+	// never change them, and the level converters inserted below are buffers
+	// whose output toggles exactly like their source. One simulation serves
+	// the whole run; LC activities are aliased on insertion.
+	simRes, err := sim.Run(ckt, opts.SimWords, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	act := simRes.Act
 	res := &Result{}
 	for {
-		t, err := sta.Analyze(ckt, lib, opts.Tspec)
-		if err != nil {
+		if err := selfCheck(inc, opts); err != nil {
 			return nil, err
 		}
-		simRes, err := sim.Run(ckt, opts.SimWords, opts.Seed)
-		if err != nil {
-			return nil, err
-		}
-		fan := t.Fanouts()
+		fan := inc.Fanouts()
 
 		// getSlkSet + check_timing + weight_with_power_gain.
 		var cands []candidate
@@ -121,14 +131,14 @@ func Dscale(ckt *netlist.Circuit, lib *cell.Library, opts Options) (*Result, err
 			if fan.Degree(out) == 0 {
 				continue
 			}
-			if t.Slack[out] <= opts.Eps {
+			if inc.Slack[out] <= opts.Eps {
 				continue // not in SlkSet
 			}
-			c, ok := evalCandidate(ckt, lib, t, fan, simRes.Act, opts.Fclk, gi)
+			c, ok := evalCandidate(ckt, lib, inc, act, opts.Fclk, gi)
 			if !ok || c.gain <= 0 {
 				continue
 			}
-			if t.Slack[out]-(c.deltaArr+c.lcDelay) < opts.Eps {
+			if inc.Slack[out]-(c.deltaArr+c.lcDelay) < opts.Eps {
 				continue
 			}
 			cands = append(cands, c)
@@ -170,26 +180,25 @@ func Dscale(ckt *netlist.Circuit, lib *cell.Library, opts Options) (*Result, err
 			break
 		}
 		for _, gi := range lowSet {
-			if err := applyLow(ckt, lib, fan, gi); err != nil {
+			act, err = applyLow(ckt, lib, inc, act, gi)
+			if err != nil {
 				return nil, err
 			}
 		}
-		bypassRedundantLCs(ckt, lib, opts)
+		bypassRedundantLCs(ckt, lib, inc, opts)
+		inc.Commit() // moves are final; cap journal growth
 		res.Iterations++
 
 		// update_timing plus a safety net: the per-candidate check is
 		// conservative, so the constraint must still hold.
-		t, err = sta.Analyze(ckt, lib, opts.Tspec)
-		if err != nil {
-			return nil, err
-		}
-		if !t.Meets(opts.Eps) {
-			return nil, fmt.Errorf("core: Dscale violated timing (%.6f > %.6f)", t.WorstArrival, opts.Tspec)
+		if !inc.Meets(opts.Eps) {
+			return nil, fmt.Errorf("core: Dscale violated timing (%.6f > %.6f)", inc.WorstArrival(), opts.Tspec)
 		}
 	}
 	res.Lowered = ckt.NumLowGates()
 	res.LCs = ckt.NumLCs()
 	res.AreaIncrease = ckt.Area()/areaBefore - 1
+	res.STAEvals = inc.Evals()
 	return res, nil
 }
 
@@ -198,31 +207,14 @@ func Dscale(ckt *netlist.Circuit, lib *cell.Library, opts Options) (*Result, err
 func greedyIndependent(ckt *netlist.Circuit, fan *netlist.Fanouts, cands []candidate) []int {
 	sorted := append([]candidate(nil), cands...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].gain > sorted[j].gain })
-	// Downstream reachability from each chosen gate, computed lazily per
-	// pick over the gate DAG.
 	chosen := make(map[int]bool)
-	reachOf := func(start int) map[int]bool {
-		seen := map[int]bool{start: true}
-		stack := []int{start}
-		for len(stack) > 0 {
-			gi := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			for _, cn := range fan.Conns[ckt.GateSignal(gi)] {
-				if !seen[cn.Gate] {
-					seen[cn.Gate] = true
-					stack = append(stack, cn.Gate)
-				}
-			}
-		}
-		return seen
-	}
 	covered := make(map[int]bool) // gates on a path with some chosen gate
 	var out []int
 	for _, c := range sorted {
 		if covered[c.gate] || chosen[c.gate] {
 			continue
 		}
-		down := reachOf(c.gate)
+		down := fan.FanoutCone(ckt, c.gate)
 		conflict := false
 		for g := range chosen {
 			if down[g] {
@@ -244,47 +236,49 @@ func greedyIndependent(ckt *netlist.Circuit, fan *netlist.Fanouts, cands []candi
 }
 
 // applyLow moves gate gi to Vlow and inserts a level converter in front of
-// its high-voltage consumers ("insert necessary level restoration circuits").
-// One converter per net is shared by all high consumers.
-func applyLow(ckt *netlist.Circuit, lib *cell.Library, fan *netlist.Fanouts, gi int) error {
+// its high-voltage consumers ("insert necessary level restoration circuits"),
+// re-timing incrementally through the engine. One converter per net is shared
+// by all high consumers. It returns the activity table, extended with the
+// converter's (aliased) activity when one was inserted.
+func applyLow(ckt *netlist.Circuit, lib *cell.Library, inc *sta.Incremental, act []float64, gi int) ([]float64, error) {
 	g := ckt.Gates[gi]
 	if g.Volt == cell.VLow {
-		return fmt.Errorf("core: gate %s already low", g.Name)
+		return act, fmt.Errorf("core: gate %s already low", g.Name)
 	}
-	g.Volt = cell.VLow
 	out := ckt.GateSignal(gi)
 	var highConns []netlist.Conn
-	for _, cn := range fan.Conns[out] {
+	for _, cn := range inc.Fanouts().Conns[out] {
 		if ckt.Gates[cn.Gate].Volt == cell.VHigh {
 			highConns = append(highConns, cn)
 		}
 	}
+	inc.SetVolt(gi, cell.VLow)
 	if len(highConns) == 0 {
-		return nil
+		return act, nil
 	}
-	_, lcSig := ckt.AddGate(fmt.Sprintf("$lc_%s", g.Name), lib.LevelConverter(), out)
+	_, lcSig := inc.AddGate(fmt.Sprintf("$lc_%s", g.Name), lib.LevelConverter(), out)
 	lcGate := ckt.GateOf(lcSig)
 	lcGate.IsLC = true
+	act = append(act, act[out]) // the converter toggles with its source
 	for _, cn := range highConns {
-		ckt.Gates[cn.Gate].In[cn.Pin] = lcSig
+		if err := inc.RewirePin(cn.Gate, cn.Pin, lcSig); err != nil {
+			return act, err
+		}
 	}
-	return nil
+	return act, nil
 }
 
 // bypassRedundantLCs reconnects low-voltage gates that are fed through a
 // level converter directly to the converter's low-voltage source (a low gate
 // needs no restored swing), then deletes converters with no remaining
 // consumers. Each bypass is accepted only if the source net's slack absorbs
-// its load change, so timing stays safe.
-func bypassRedundantLCs(ckt *netlist.Circuit, lib *cell.Library, opts Options) {
+// its load change, so timing stays safe; the engine re-times each rewire in
+// cone-local work.
+func bypassRedundantLCs(ckt *netlist.Circuit, lib *cell.Library, inc *sta.Incremental, opts Options) {
 	for {
-		t, err := sta.Analyze(ckt, lib, opts.Tspec)
-		if err != nil {
-			return
-		}
 		changed := false
 	scan:
-		for _, g := range ckt.Gates {
+		for gIdx, g := range ckt.Gates {
 			if g.Dead || g.Volt != cell.VLow || g.IsLC {
 				continue
 			}
@@ -302,23 +296,26 @@ func bypassRedundantLCs(ckt *netlist.Circuit, lib *cell.Library, opts Options) {
 				// (the converter stays until it loses every consumer).
 				dLoad := g.Cell.InputCap[pin] + lib.WireCapPerFanout
 				srcGi := ckt.GateIndex(src)
-				newArr := t.GateArrivalWithCell(ckt, lib, srcGi, srcGate.Cell, dLoad)
-				if newArr-t.Arrival[src] >= t.Slack[src]-opts.Eps {
+				newArr := inc.GateArrivalWithCell(srcGi, srcGate.Cell, dLoad)
+				if newArr-inc.Arrival[src] >= inc.Slack[src]-opts.Eps {
 					continue
 				}
-				g.In[pin] = src
+				if err := inc.RewirePin(gIdx, pin, src); err != nil {
+					continue
+				}
 				changed = true
-				// One rewire at a time: loads moved, so re-time before the
-				// next decision.
+				// One rewire at a time: loads moved, so the engine's fresh
+				// state must back the next decision.
 				break scan
 			}
 		}
 		// Remove converters nobody listens to anymore.
-		fan := ckt.BuildFanouts()
+		fan := inc.Fanouts()
 		for gi, g := range ckt.Gates {
 			if !g.Dead && g.IsLC && fan.Degree(ckt.GateSignal(gi)) == 0 {
-				g.Dead = true
-				changed = true
+				if err := inc.KillGate(gi); err == nil {
+					changed = true
+				}
 			}
 		}
 		if !changed {

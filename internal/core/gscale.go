@@ -18,7 +18,7 @@ const critEps = 1e-7
 // path that determines the arrival time at some TCB node (paper §3's
 // get_CPN, via static timing analysis). TCB gates themselves are included —
 // up-sizing the boundary gate is often exactly what lets it take Vlow.
-func getCPN(ckt *netlist.Circuit, lib *cell.Library, t *sta.Timing, tcb []int) map[int]bool {
+func getCPN(ckt *netlist.Circuit, lib *cell.Library, inc *sta.Incremental, tcb []int) map[int]bool {
 	cpn := make(map[int]bool)
 	stack := append([]int(nil), tcb...)
 	for _, gi := range tcb {
@@ -34,8 +34,8 @@ func getCPN(ckt *netlist.Circuit, lib *cell.Library, t *sta.Timing, tcb []int) m
 			if ckt.IsPI(s) {
 				continue
 			}
-			a := t.Arrival[s] + g.Cell.Delay(pin, t.Load[out], derate)
-			if a < t.Arrival[out]-critEps {
+			a := inc.Arrival[s] + g.Cell.Delay(pin, inc.Load[out], derate)
+			if a < inc.Arrival[out]-critEps {
 				continue // this fanin does not set the arrival
 			}
 			di := ckt.GateIndex(s)
@@ -55,14 +55,14 @@ func getCPN(ckt *netlist.Circuit, lib *cell.Library, t *sta.Timing, tcb []int) m
 // needs the *net* gain or the separator would pick counterproductive moves).
 // Returns the candidate cell, the net gain in ns and the area penalty, or
 // ok=false when the gate has no larger size or up-sizing does not pay.
-func sizingGain(ckt *netlist.Circuit, lib *cell.Library, t *sta.Timing, gi int) (up *cell.Cell, gain, dArea float64, ok bool) {
+func sizingGain(ckt *netlist.Circuit, lib *cell.Library, inc *sta.Incremental, gi int) (up *cell.Cell, gain, dArea float64, ok bool) {
 	g := ckt.Gates[gi]
 	up = lib.Upsize(g.Cell)
 	if up == nil {
 		return nil, 0, 0, false
 	}
 	out := ckt.GateSignal(gi)
-	selfGain := t.Arrival[out] - t.GateArrivalWithCell(ckt, lib, gi, up, 0)
+	selfGain := inc.Arrival[out] - inc.GateArrivalWithCell(gi, up, 0)
 	worstDriverPenalty := 0.0
 	for pin, s := range g.In {
 		di := ckt.GateIndex(s)
@@ -100,14 +100,20 @@ func tcbEqual(a, b []int) bool {
 // then each iteration speeds up the paths into the time-critical boundary by
 // up-sizing a minimum-weight separator of the critical path network (weights
 // are area-penalty over timing-gain, computed by Edmonds–Karp
-// max-flow/min-cut), re-times, and re-runs CVS to push the TCB toward the
-// primary inputs. The loop stops when the area budget is exhausted or after
-// MaxIter consecutive pushes that leave the TCB unchanged. No level
+// max-flow/min-cut), re-times incrementally, and re-runs CVS to push the TCB
+// toward the primary inputs. Batches are applied transactionally: a cut that
+// misses the constraint is rolled back through the engine's journal instead
+// of being unwound by hand. The loop stops when the area budget is exhausted
+// or after MaxIter consecutive pushes that leave the TCB unchanged. No level
 // converters are needed: the low gates always form one cluster.
 func Gscale(ckt *netlist.Circuit, lib *cell.Library, opts Options) (*Result, error) {
 	areaBefore := ckt.Area()
 	maxArea := areaBefore * (1 + opts.MaxAreaIncrease)
-	cvsRes, err := CVS(ckt, lib, opts.Tspec, opts.Eps)
+	inc, err := sta.NewIncremental(ckt, lib, opts.Tspec)
+	if err != nil {
+		return nil, err
+	}
+	cvsRes, err := cvsOn(inc, ckt, opts.Eps)
 	if err != nil {
 		return nil, err
 	}
@@ -119,11 +125,10 @@ func Gscale(ckt *netlist.Circuit, lib *cell.Library, opts Options) (*Result, err
 		if ckt.Area() >= maxArea-1e-12 {
 			break // no further area increase is allowed
 		}
-		t, err := sta.Analyze(ckt, lib, opts.Tspec)
-		if err != nil {
+		if err := selfCheck(inc, opts); err != nil {
 			return nil, err
 		}
-		cpn := getCPN(ckt, lib, t, tcb)
+		cpn := getCPN(ckt, lib, inc, tcb)
 
 		// Weight the CPN and build its induced DAG.
 		idx := make(map[int]int, len(cpn))
@@ -140,7 +145,7 @@ func Gscale(ckt *netlist.Circuit, lib *cell.Library, opts Options) (*Result, err
 		weight := make([]int64, n)
 		ups := make([]*cell.Cell, n)
 		for i, gi := range gates {
-			up, gain, dArea, ok := sizingGain(ckt, lib, t, gi)
+			up, gain, dArea, ok := sizingGain(ckt, lib, inc, gi)
 			if !ok || ckt.Area()+dArea > maxArea {
 				weight[i] = graph.Inf
 				continue
@@ -154,7 +159,7 @@ func Gscale(ckt *netlist.Circuit, lib *cell.Library, opts Options) (*Result, err
 		}
 		succ := make([][]int, n)
 		hasPred := make([]bool, n)
-		fan := t.Fanouts()
+		fan := inc.Fanouts()
 		for i, gi := range gates {
 			for _, cn := range fan.Conns[ckt.GateSignal(gi)] {
 				if j, ok := idx[cn.Gate]; ok {
@@ -202,11 +207,9 @@ func Gscale(ckt *netlist.Circuit, lib *cell.Library, opts Options) (*Result, err
 			// other's sibling paths. (Applying one at a time would let a
 			// shared driver's slowdown hit a sibling path before that path's
 			// own cut member has compensated — a spurious violation.)
-			type undo struct {
-				gi   int
-				prev *cell.Cell
-			}
-			var applied []undo
+			mark := inc.Checkpoint()
+			var applied []int
+			prevCell := make(map[int]*cell.Cell)
 			for _, i := range cut {
 				gi := gates[i]
 				up := ups[i]
@@ -217,46 +220,39 @@ func Gscale(ckt *netlist.Circuit, lib *cell.Library, opts Options) (*Result, err
 				if ckt.Area()+up.Area-g.Cell.Area > maxArea {
 					continue // resize only if area increase is allowed
 				}
-				applied = append(applied, undo{gi: gi, prev: g.Cell})
-				g.Cell = up
+				prevCell[gi] = g.Cell
+				inc.SetCell(gi, up)
+				applied = append(applied, gi)
 			}
 			if len(applied) > 0 {
-				t, err = sta.Analyze(ckt, lib, opts.Tspec)
-				if err != nil {
-					return nil, err
-				}
-				if t.Meets(opts.Eps) {
+				if inc.Meets(opts.Eps) {
 					resized = len(applied)
-					for _, u := range applied {
-						if _, seen := originalCell[u.gi]; !seen {
-							originalCell[u.gi] = u.prev
+					for _, gi := range applied {
+						if _, seen := originalCell[gi]; !seen {
+							originalCell[gi] = prevCell[gi]
 						}
 					}
 				} else {
 					// Conservative gain estimates failed this batch (e.g. a
-					// driver shared by many cut members): revert and try a
-					// greedy one-by-one fallback so progress is still made.
-					for _, u := range applied {
-						ckt.Gates[u.gi].Cell = u.prev
-					}
-					for _, u := range applied {
-						g := ckt.Gates[u.gi]
+					// driver shared by many cut members): roll the whole
+					// batch back and try a greedy one-by-one fallback so
+					// progress is still made.
+					inc.Rollback(mark)
+					for _, gi := range applied {
+						g := ckt.Gates[gi]
 						next := lib.Upsize(g.Cell)
 						if next == nil || ckt.Area()+next.Area-g.Cell.Area > maxArea {
 							continue
 						}
 						prev := g.Cell
-						g.Cell = next
-						t, err = sta.Analyze(ckt, lib, opts.Tspec)
-						if err != nil {
-							return nil, err
-						}
-						if !t.Meets(opts.Eps) {
-							g.Cell = prev
+						one := inc.Checkpoint()
+						inc.SetCell(gi, next)
+						if !inc.Meets(opts.Eps) {
+							inc.Rollback(one)
 							continue
 						}
-						if _, seen := originalCell[u.gi]; !seen {
-							originalCell[u.gi] = prev
+						if _, seen := originalCell[gi]; !seen {
+							originalCell[gi] = prev
 						}
 						resized++
 					}
@@ -266,7 +262,8 @@ func Gscale(ckt *netlist.Circuit, lib *cell.Library, opts Options) (*Result, err
 		res.Iterations++
 
 		// update_timing + push the TCB with another CVS run.
-		cvsRes, err = CVS(ckt, lib, opts.Tspec, opts.Eps)
+		inc.Commit()
+		cvsRes, err = cvsOn(inc, ckt, opts.Eps)
 		if err != nil {
 			return nil, err
 		}
@@ -281,7 +278,8 @@ func Gscale(ckt *netlist.Circuit, lib *cell.Library, opts Options) (*Result, err
 			break // sizing can make no further difference
 		}
 	}
-	// Safety: Gscale must never violate the constraint.
+	// Safety: Gscale must never violate the constraint. The full analysis is
+	// the reference oracle here — one last cross-check of the whole run.
 	t, err := sta.Analyze(ckt, lib, opts.Tspec)
 	if err != nil {
 		return nil, err
@@ -298,5 +296,6 @@ func Gscale(ckt *netlist.Circuit, lib *cell.Library, opts Options) (*Result, err
 	res.LCs = ckt.NumLCs()
 	res.AreaIncrease = ckt.Area()/areaBefore - 1
 	res.TCB = tcb
+	res.STAEvals = inc.Evals()
 	return res, nil
 }

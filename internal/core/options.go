@@ -53,6 +53,10 @@ type Options struct {
 	// up-sizing the single most profitable critical gate per iteration.
 	// Ablation knob for the paper's min-cut formulation.
 	GreedySizing bool
+	// SelfCheck cross-validates the incremental timing engine against a
+	// fresh full analysis at every algorithm checkpoint. Differential-test
+	// hook; far too slow for production runs.
+	SelfCheck bool
 }
 
 // DefaultOptions returns the paper's parameters (Tspec must still be set by
@@ -84,6 +88,10 @@ type Result struct {
 	Iterations int
 	// TCB holds the final time-critical boundary (gate indices).
 	TCB []int
+	// STAEvals counts per-gate timing evaluations spent by the incremental
+	// engine over the whole run — the cost a full re-analysis per move would
+	// multiply by the circuit size.
+	STAEvals int64
 }
 
 // lowEligible reports whether gate gi may legally take Vlow under the

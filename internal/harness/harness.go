@@ -40,6 +40,10 @@ func RunDesign(d *dualvdd.Design) (report.Row, error) {
 		DscalePct:   ds.ImprovePct,
 		GscalePct:   gs.ImprovePct,
 		CPUSec:      gs.Runtime.Seconds(),
+		CVSSec:      cvs.Runtime.Seconds(),
+		DscaleSec:   ds.Runtime.Seconds(),
+		DscaleEvals: ds.STAEvals,
+		GscaleEvals: gs.STAEvals,
 		OrgGates:    cvs.Gates,
 		CVSLow:      cvs.LowGates,
 		CVSRatio:    cvs.LowRatio,

@@ -287,6 +287,78 @@ func (f *Fanouts) Degree(s Signal) int {
 	return len(f.Conns[s]) + len(f.POs[s])
 }
 
+// Grow extends the table to cover a signal space of n signals, after gates
+// have been appended to the circuit.
+func (f *Fanouts) Grow(n int) {
+	for len(f.Conns) < n {
+		f.Conns = append(f.Conns, nil)
+	}
+	for len(f.POs) < n {
+		f.POs = append(f.POs, nil)
+	}
+}
+
+// Shrink truncates the table to n signals, undoing a Grow after the gates
+// that backed it were removed.
+func (f *Fanouts) Shrink(n int) {
+	f.Conns = f.Conns[:n]
+	f.POs = f.POs[:n]
+}
+
+// Connect records consumer cn of signal s. The consumer list is kept sorted
+// by (gate, pin) — the order BuildFanouts produces — so a table maintained
+// incrementally stays element-for-element identical to a fresh build, which
+// keeps float summations over it (capacitive loads) bit-exact.
+func (f *Fanouts) Connect(s Signal, cn Conn) {
+	conns := f.Conns[s]
+	i := len(conns)
+	for i > 0 && connLess(cn, conns[i-1]) {
+		i--
+	}
+	conns = append(conns, Conn{})
+	copy(conns[i+1:], conns[i:])
+	conns[i] = cn
+	f.Conns[s] = conns
+}
+
+// Disconnect removes consumer cn of signal s, preserving the order of the
+// remaining consumers. Missing connections are ignored.
+func (f *Fanouts) Disconnect(s Signal, cn Conn) {
+	conns := f.Conns[s]
+	for i, c := range conns {
+		if c == cn {
+			f.Conns[s] = append(conns[:i], conns[i+1:]...)
+			return
+		}
+	}
+}
+
+func connLess(a, b Conn) bool {
+	if a.Gate != b.Gate {
+		return a.Gate < b.Gate
+	}
+	return a.Pin < b.Pin
+}
+
+// FanoutCone returns the set of gates reachable downstream from gate gi
+// (excluding gi itself unless it lies on a cycle), the forward cone an
+// arrival-time change at gi can influence.
+func (f *Fanouts) FanoutCone(c *Circuit, gi int) map[int]bool {
+	seen := map[int]bool{gi: true}
+	stack := []int{gi}
+	for len(stack) > 0 {
+		g := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, cn := range f.Conns[c.GateSignal(g)] {
+			if !seen[cn.Gate] {
+				seen[cn.Gate] = true
+				stack = append(stack, cn.Gate)
+			}
+		}
+	}
+	return seen
+}
+
 // Validate checks structural sanity: pin counts match cells, signals are in
 // range and alive, the DAG is acyclic, every PO source is alive, and live
 // gate names are unique.

@@ -241,3 +241,112 @@ func TestRandomCircuitInvariants(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// fanoutsEqual compares two consumer tables element for element — the
+// invariant the incremental timing engine relies on for bit-exact load sums.
+func fanoutsEqual(a, b *Fanouts) bool {
+	if len(a.Conns) != len(b.Conns) {
+		return false
+	}
+	for s := range a.Conns {
+		if len(a.Conns[s]) != len(b.Conns[s]) || len(a.POs[s]) != len(b.POs[s]) {
+			return false
+		}
+		for i := range a.Conns[s] {
+			if a.Conns[s][i] != b.Conns[s][i] {
+				return false
+			}
+		}
+		for i := range a.POs[s] {
+			if a.POs[s][i] != b.POs[s][i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestFanoutsIncrementalMatchesBuild(t *testing.T) {
+	// Random edit scripts (rewires, gate additions, deletions) maintained
+	// through Connect/Disconnect/Grow must leave the table identical — in
+	// element order, not just as a set — to a fresh BuildFanouts.
+	rng := rand.New(rand.NewSource(17))
+	inv := lib.Smallest(cell.FINV)
+	nand := lib.Smallest(cell.FNAND2)
+	for trial := 0; trial < 30; trial++ {
+		c := New("fan")
+		for i := 0; i < 4; i++ {
+			c.AddPI("pi" + string(rune('a'+i)))
+		}
+		for k := 0; k < 25; k++ {
+			n := c.NumSignals()
+			if rng.Intn(2) == 0 {
+				c.AddGate(gname(k), inv, Signal(rng.Intn(n)))
+			} else {
+				c.AddGate(gname(k), nand, Signal(rng.Intn(n)), Signal(rng.Intn(n)))
+			}
+		}
+		c.AddPO("o", Signal(c.NumSignals()-1))
+		fan := c.BuildFanouts()
+		for edit := 0; edit < 40; edit++ {
+			switch rng.Intn(3) {
+			case 0: // rewire a random pin upstream
+				gi := len(c.PIs) + rng.Intn(len(c.Gates))
+				g := c.Gates[gi-len(c.PIs)]
+				if g.Dead {
+					continue
+				}
+				pin := rng.Intn(len(g.In))
+				to := Signal(rng.Intn(gi)) // strictly upstream keeps the DAG
+				cn := Conn{Gate: gi - len(c.PIs), Pin: pin}
+				fan.Disconnect(g.In[pin], cn)
+				fan.Connect(to, cn)
+				g.In[pin] = to
+			case 1: // append a gate
+				src := Signal(rng.Intn(c.NumSignals()))
+				gi, _ := c.AddGate(gname(100+edit+trial*50), inv, src)
+				fan.Grow(c.NumSignals())
+				fan.Connect(src, Conn{Gate: gi, Pin: 0})
+			case 2: // kill a consumer-free gate
+				for gi, g := range c.Gates {
+					if !g.Dead && fan.Degree(c.GateSignal(gi)) == 0 {
+						g.Dead = true
+						for pin, s := range g.In {
+							fan.Disconnect(s, Conn{Gate: gi, Pin: pin})
+						}
+						break
+					}
+				}
+			}
+			if !fanoutsEqual(fan, c.BuildFanouts()) {
+				t.Fatalf("trial %d edit %d: incremental table diverged from BuildFanouts", trial, edit)
+			}
+		}
+	}
+}
+
+func TestFanoutsDisconnectMissingIsNoop(t *testing.T) {
+	c := chain(3)
+	fan := c.BuildFanouts()
+	fan.Disconnect(0, Conn{Gate: 99, Pin: 0})
+	if !fanoutsEqual(fan, c.BuildFanouts()) {
+		t.Fatal("disconnect of a missing connection mutated the table")
+	}
+}
+
+func TestFanoutCone(t *testing.T) {
+	// pi -> g0 -> g1 -> g2 -> po, with g3 off to the side from pi.
+	c := New("cone")
+	pi := c.AddPI("pi")
+	inv := lib.Smallest(cell.FINV)
+	_, s0 := c.AddGate("g0", inv, pi)
+	_, s1 := c.AddGate("g1", inv, s0)
+	_, s2 := c.AddGate("g2", inv, s1)
+	c.AddGate("g3", inv, pi)
+	c.AddPO("o", s2)
+	fan := c.BuildFanouts()
+	down := fan.FanoutCone(c, 0)
+	if !down[0] || !down[1] || !down[2] || down[3] {
+		t.Fatalf("fanout cone of g0 = %v", down)
+	}
+}

@@ -14,6 +14,11 @@ type Row struct {
 	CVSPct, DscalePct, GscalePct float64
 	// Gscale wall-clock seconds (the paper's CPU column).
 	CPUSec float64
+	// Per-algorithm wall-clock seconds, so scaling-loop speedups are
+	// visible per table row in benchmark output.
+	CVSSec, DscaleSec float64
+	// Incremental-STA gate evaluations spent by Dscale and Gscale.
+	DscaleEvals, GscaleEvals int64
 	// Profiles (Table 2).
 	OrgGates                        int
 	CVSLow, DscaleLow, GscaleLow    int

@@ -118,22 +118,29 @@ func Analyze(c *netlist.Circuit, lib *cell.Library, tspec float64) (*Timing, err
 // Meets reports whether every PO meets the constraint within eps.
 func (t *Timing) Meets(eps float64) bool { return t.WorstArrival <= t.Tspec+eps }
 
-// GateArrival recomputes the output arrival of gate gi under a hypothetical
-// voltage level, using current fanin arrivals and loads. This is the paper's
-// check_timing primitive: the arrival increase of scaling one gate, with all
-// other gates unchanged.
-func (t *Timing) GateArrival(c *netlist.Circuit, lib *cell.Library, gi int, volt cell.VoltLevel) float64 {
+// gateArrivalAt recomputes gate gi's output arrival from the given arrival
+// and load annotations, as if the gate were bound to cell cl at the given
+// derating with its output load shifted by dLoad. Shared by the full and
+// incremental analyses so their what-if primitives agree bit-for-bit.
+func gateArrivalAt(c *netlist.Circuit, arrival, load []float64, gi int, cl *cell.Cell, derate, dLoad float64) float64 {
 	g := c.Gates[gi]
 	out := c.GateSignal(gi)
-	derate := lib.Derate(volt)
 	worst := 0.0
 	for pin, s := range g.In {
-		a := t.Arrival[s] + g.Cell.Delay(pin, t.Load[out], derate)
+		a := arrival[s] + cl.Delay(pin, load[out]+dLoad, derate)
 		if a > worst {
 			worst = a
 		}
 	}
 	return worst
+}
+
+// GateArrival recomputes the output arrival of gate gi under a hypothetical
+// voltage level, using current fanin arrivals and loads. This is the paper's
+// check_timing primitive: the arrival increase of scaling one gate, with all
+// other gates unchanged.
+func (t *Timing) GateArrival(c *netlist.Circuit, lib *cell.Library, gi int, volt cell.VoltLevel) float64 {
+	return gateArrivalAt(c, t.Arrival, t.Load, gi, c.Gates[gi].Cell, lib.Derate(volt), 0)
 }
 
 // DeltaLow returns the arrival-time increase at gate gi's output if the gate
@@ -147,17 +154,7 @@ func (t *Timing) DeltaLow(c *netlist.Circuit, lib *cell.Library, gi int) float64
 // to cl (same function, different size) with the output load adjusted by
 // dLoad; used by Gscale's sizing weighting.
 func (t *Timing) GateArrivalWithCell(c *netlist.Circuit, lib *cell.Library, gi int, cl *cell.Cell, dLoad float64) float64 {
-	g := c.Gates[gi]
-	out := c.GateSignal(gi)
-	derate := lib.Derate(g.Volt)
-	worst := 0.0
-	for pin, s := range g.In {
-		a := t.Arrival[s] + cl.Delay(pin, t.Load[out]+dLoad, derate)
-		if a > worst {
-			worst = a
-		}
-	}
-	return worst
+	return gateArrivalAt(c, t.Arrival, t.Load, gi, cl, lib.Derate(c.Gates[gi].Volt), dLoad)
 }
 
 // Fanouts exposes the consumer table the analysis was built with.
