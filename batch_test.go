@@ -1,0 +1,181 @@
+package dualvdd_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dualvdd"
+)
+
+func TestBatchMapOrderIndependentOfWorkers(t *testing.T) {
+	ctx := context.Background()
+	const n = 100
+	fn := func(ctx context.Context, i int) (int, error) { return i * i, nil }
+	want, err := dualvdd.BatchMap(ctx, dualvdd.Batch{Workers: 1}, n, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 4, 16, n + 5} {
+		got, err := dualvdd.BatchMap(ctx, dualvdd.Batch{Workers: workers}, n, fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestBatchMapDeterministicError(t *testing.T) {
+	// Items 30 and 60 fail; the reported error must be item 30's at every
+	// worker count, even though item 60 finishes first and stops the pool
+	// while 30 is still in flight. Item 30 checks its ctx like the real
+	// harness does — a sibling's failure must not reach it through the ctx
+	// and turn its intrinsic error into cancellation fallout.
+	boom := func(i int) error { return fmt.Errorf("item %d failed", i) }
+	for _, workers := range []int{1, 3, 8} {
+		_, err := dualvdd.BatchMap(context.Background(), dualvdd.Batch{Workers: workers}, 100,
+			func(ctx context.Context, i int) (int, error) {
+				if i == 60 {
+					return 0, boom(i)
+				}
+				if i == 30 {
+					time.Sleep(10 * time.Millisecond) // let 60 fail first
+					if err := ctx.Err(); err != nil {
+						return 0, err
+					}
+					return 0, boom(i)
+				}
+				return i, nil
+			})
+		if err == nil || err.Error() != "item 30 failed" {
+			t.Fatalf("workers=%d: error = %v, want item 30's", workers, err)
+		}
+	}
+}
+
+func TestBatchMapNeverSkipsBelowFailure(t *testing.T) {
+	// A failure must only stop higher-index items: every item below the
+	// failing index completes and keeps its result, even when it is still
+	// in flight (or not yet picked up) when the failure cancels the pool.
+	for round := 0; round < 20; round++ {
+		results, err := dualvdd.BatchMap(context.Background(), dualvdd.Batch{Workers: 4}, 40,
+			func(ctx context.Context, i int) (int, error) {
+				if i == 20 {
+					return 0, errors.New("boom")
+				}
+				if i < 20 && i%3 == 0 {
+					time.Sleep(time.Millisecond) // straggle behind the failure
+				}
+				if err := ctx.Err(); err != nil {
+					return 0, err
+				}
+				return i + 1, nil
+			})
+		if err == nil || err.Error() != "boom" {
+			t.Fatalf("round %d: err = %v", round, err)
+		}
+		for i := 0; i < 20; i++ {
+			if results[i] != i+1 {
+				t.Fatalf("round %d: item %d below the failure was skipped (result %d)",
+					round, i, results[i])
+			}
+		}
+	}
+}
+
+func TestBatchMapErrorCancelsPending(t *testing.T) {
+	var started atomic.Int64
+	_, err := dualvdd.BatchMap(context.Background(), dualvdd.Batch{Workers: 1}, 50,
+		func(ctx context.Context, i int) (int, error) {
+			started.Add(1)
+			if i == 3 {
+				return 0, errors.New("stop here")
+			}
+			return i, nil
+		})
+	if err == nil || err.Error() != "stop here" {
+		t.Fatalf("error = %v", err)
+	}
+	// With one worker the failure at item 3 must prevent items 4..49 from
+	// running fn at all.
+	if got := started.Load(); got != 4 {
+		t.Fatalf("%d items ran, want 4 (0..3)", got)
+	}
+}
+
+func TestBatchMapParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := dualvdd.BatchMap(ctx, dualvdd.Batch{}, 10,
+		func(ctx context.Context, i int) (int, error) { return i, ctx.Err() })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+}
+
+func TestBatchMapPartialResultsOnError(t *testing.T) {
+	results, err := dualvdd.BatchMap(context.Background(), dualvdd.Batch{Workers: 1}, 5,
+		func(ctx context.Context, i int) (string, error) {
+			if i == 2 {
+				return "", errors.New("nope")
+			}
+			return fmt.Sprintf("ok%d", i), nil
+		})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if results[0] != "ok0" || results[1] != "ok1" || results[2] != "" {
+		t.Fatalf("partial results wrong: %v", results)
+	}
+}
+
+func TestBatchEachAndEmpty(t *testing.T) {
+	var sum atomic.Int64
+	if err := (dualvdd.Batch{Workers: 4}).Each(context.Background(), 10,
+		func(ctx context.Context, i int) error { sum.Add(int64(i)); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 45 {
+		t.Fatalf("sum = %d", sum.Load())
+	}
+	results, err := dualvdd.BatchMap(context.Background(), dualvdd.Batch{}, 0,
+		func(ctx context.Context, i int) (int, error) { t.Fatal("fn called for n=0"); return 0, nil })
+	if err != nil || len(results) != 0 {
+		t.Fatalf("n=0: %v, %v", results, err)
+	}
+}
+
+func TestBatchMapBoundsConcurrency(t *testing.T) {
+	var live, peak atomic.Int64
+	const workers = 3
+	_, err := dualvdd.BatchMap(context.Background(), dualvdd.Batch{Workers: workers}, 30,
+		func(ctx context.Context, i int) (int, error) {
+			n := live.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			live.Add(-1)
+			return i, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent items, pool bound is %d", p, workers)
+	}
+	if runtime.GOMAXPROCS(0) > 1 && peak.Load() < 2 {
+		t.Log("pool never ran 2 items concurrently (slow machine?)")
+	}
+}

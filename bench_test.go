@@ -13,7 +13,9 @@
 package dualvdd_test
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"dualvdd"
@@ -84,6 +86,30 @@ func BenchmarkTable2(b *testing.B) {
 			b.ReportMetric(row.GscRatio, "Gscale_lowRatio")
 			b.ReportMetric(float64(row.Sized), "sized")
 			b.ReportMetric(row.AreaInc, "areaInc")
+		})
+	}
+}
+
+// BenchmarkBatchSuite sweeps the routine subset through the Batch runner at
+// increasing worker counts: the wall-clock ratio to workers=1 is the
+// parallel-evaluation win, on results that are bit-identical by
+// construction (TestBatchDeterminismAcrossWorkers).
+func BenchmarkBatchSuite(b *testing.B) {
+	cfg := dualvdd.DefaultConfig()
+	for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var rows []report.Row
+			for i := 0; i < b.N; i++ {
+				var err error
+				rows, err = harness.RunAllContext(context.Background(), cfg,
+					harness.Options{Circuits: smallSuite, Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			avg := report.Averages(rows)
+			b.ReportMetric(avg.GscalePct, "Gscale_%")
+			b.ReportMetric(float64(len(rows)), "circuits")
 		})
 	}
 }

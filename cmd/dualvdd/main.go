@@ -1,36 +1,80 @@
 // Command dualvdd runs the paper's flow on a single circuit: read a
 // technology-independent BLIF network (or generate a named MCNC stand-in),
-// map it against the dual-voltage library with a 20%-relaxed timing
-// constraint, apply one of the scaling algorithms, and report power. The
-// scaled netlist can be exported as mapped BLIF with ".volt" annotations.
+// map it against the dual-voltage library with a relaxed timing constraint,
+// apply one of the scaling algorithms, and report power. The scaled netlist
+// can be exported as mapped BLIF with ".volt" annotations.
 //
 // Usage:
 //
 //	dualvdd -bench C880 -algo gscale
 //	dualvdd -in circuit.blif -algo dscale -out scaled.blif
-//	dualvdd -in circuit.blif -algo all
+//	dualvdd -in circuit.blif -algo all -timeout 30s
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"dualvdd"
 )
 
 func main() {
+	def := dualvdd.DefaultConfig()
 	in := flag.String("in", "", "input BLIF file (.names form)")
 	bench := flag.String("bench", "", "MCNC benchmark name (alternative to -in)")
 	algo := flag.String("algo", "all", "algorithm: cvs, dscale, gscale or all")
 	out := flag.String("out", "", "write the scaled mapped netlist as BLIF")
-	vhigh := flag.Float64("vhigh", 5.0, "high supply voltage")
-	vlow := flag.Float64("vlow", 4.3, "low supply voltage")
-	seed := flag.Uint64("seed", 1, "random-simulation seed")
+	vhigh := flag.Float64("vhigh", def.Vhigh, "high supply voltage")
+	vlow := flag.Float64("vlow", def.Vlow, "low supply voltage")
+	seed := flag.Uint64("seed", def.Seed, "random-simulation seed")
+	slack := flag.Float64("slack", def.SlackFactor, "timing constraint relaxation over the minimum-delay mapping")
+	simwords := flag.Int("simwords", def.SimWords, "64-vector words for random power estimation")
+	fclk := flag.Float64("fclk", def.Fclk, "power-estimation clock frequency (Hz)")
+	greedySelect := flag.Bool("greedy-select", false, "ablation: greedy Dscale selection instead of MWIS")
+	greedySizing := flag.Bool("greedy-sizing", false, "ablation: single-gate Gscale sizing instead of the separator cut")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
+	progress := flag.Bool("progress", false, "stream per-round progress to stderr")
 	flag.Parse()
 
-	cfg := dualvdd.DefaultConfig()
-	cfg.Vhigh, cfg.Vlow, cfg.Seed = *vhigh, *vlow, *seed
+	want := strings.ToLower(*algo)
+	if want != "all" {
+		known := false
+		for _, name := range dualvdd.Algorithms() {
+			known = known || want == strings.ToLower(string(name))
+		}
+		if !known {
+			fatal(fmt.Errorf("unknown -algo %q (want cvs, dscale, gscale or all)", *algo))
+		}
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	opts := []dualvdd.Option{
+		dualvdd.WithVoltages(*vhigh, *vlow),
+		dualvdd.WithSeed(*seed),
+		dualvdd.WithSlackFactor(*slack),
+		dualvdd.WithSimWords(*simwords),
+		dualvdd.WithClock(*fclk),
+		dualvdd.WithGreedySelect(*greedySelect),
+		dualvdd.WithGreedySizing(*greedySizing),
+	}
+	if *progress {
+		opts = append(opts, dualvdd.WithObserver(func(ev dualvdd.Event) {
+			if e, ok := ev.(dualvdd.EventRoundDone); ok {
+				fmt.Fprintf(os.Stderr, "%s round %d: %d moves, %d low gates, worst arrival %.4f ns\n",
+					e.Algorithm, e.Round, e.Moves, e.LowGates, e.WorstArrival)
+			}
+		}))
+	}
+	flow := dualvdd.New(opts...)
 
 	var (
 		d   *dualvdd.Design
@@ -42,10 +86,10 @@ func main() {
 		if ferr != nil {
 			fatal(ferr)
 		}
-		d, err = dualvdd.LoadBLIF(f, cfg)
+		d, err = flow.LoadBLIF(ctx, f)
 		f.Close()
 	case *bench != "":
-		d, err = dualvdd.PrepareBenchmark(*bench, cfg)
+		d, err = flow.PrepareBenchmark(ctx, *bench)
 	default:
 		fmt.Fprintln(os.Stderr, "dualvdd: need -in file.blif or -bench <name>; known benchmarks:")
 		fmt.Fprintln(os.Stderr, dualvdd.Benchmarks())
@@ -57,18 +101,12 @@ func main() {
 	fmt.Printf("%s: %d PIs, %d POs, Tspec %.3f ns (min delay %.3f ns), original power %.2f uW\n",
 		d.Name, len(d.Circuit.PIs), len(d.Circuit.POs), d.Tspec, d.MinDelay, d.OrgPower*1e6)
 
-	runs := map[string]func() (*dualvdd.FlowResult, error){
-		"cvs":    d.RunCVS,
-		"dscale": d.RunDscale,
-		"gscale": d.RunGscale,
-	}
-	order := []string{"cvs", "dscale", "gscale"}
 	var last *dualvdd.FlowResult
-	for _, name := range order {
-		if *algo != "all" && *algo != name {
+	for _, name := range dualvdd.Algorithms() {
+		if want != "all" && want != strings.ToLower(string(name)) {
 			continue
 		}
-		res, err := runs[name]()
+		res, err := d.RunAlgorithm(ctx, name)
 		if err != nil {
 			fatal(err)
 		}
@@ -78,7 +116,7 @@ func main() {
 			res.AreaIncrease*100, res.Runtime.Round(1e6))
 		last = res
 	}
-	if *out != "" && last != nil {
+	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
 			fatal(err)

@@ -3,16 +3,24 @@
 // Table 2 (low-voltage gate profiles and sizing overhead) across the
 // 39-circuit MCNC stand-in suite, printing the published numbers alongside.
 //
+// The sweep fans the circuits across a worker pool (the Batch runner); row
+// values are bit-identical at any -parallel setting because the flow is
+// seeded and circuits share no state.
+//
 // Usage:
 //
-//	tables [-table 1|2|all] [-circuits name,name,...] [-markdown] [-check]
+//	tables [-table 1|2|all] [-circuits name,name,...] [-parallel N]
+//	       [-markdown] [-check] [-quiet]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
 
 	"dualvdd"
 	"dualvdd/internal/harness"
@@ -22,24 +30,56 @@ import (
 func main() {
 	table := flag.String("table", "all", "which table to print: 1, 2 or all")
 	circuits := flag.String("circuits", "", "comma-separated circuit subset (default: all 39)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for the sweep")
 	markdown := flag.Bool("markdown", false, "emit Markdown (for EXPERIMENTS.md)")
 	check := flag.Bool("check", false, "run trend-shape assertions against the paper's claims")
+	quiet := flag.Bool("quiet", false, "suppress per-circuit progress lines")
 	flag.Parse()
 
 	cfg := dualvdd.DefaultConfig()
-	names := dualvdd.Benchmarks()
+	var names []string
 	if *circuits != "" {
-		names = strings.Split(*circuits, ",")
-	}
-	var rows []report.Row
-	for _, name := range names {
-		row, err := harness.Run(strings.TrimSpace(name), cfg)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "tables: %s: %v\n", name, err)
-			os.Exit(1)
+		for _, name := range strings.Split(*circuits, ",") {
+			names = append(names, strings.TrimSpace(name))
 		}
-		fmt.Fprintf(os.Stderr, "done %s\n", row)
-		rows = append(rows, row)
+	} else {
+		names = dualvdd.Benchmarks()
+	}
+
+	// Progress: one line per finished algorithm run, one per finished
+	// circuit. The observer runs on the pool's workers, so serialize prints.
+	var mu sync.Mutex
+	done := 0
+	opts := harness.Options{
+		Circuits: names,
+		Workers:  *parallel,
+		OnRow: func(i int, row report.Row) {
+			mu.Lock()
+			defer mu.Unlock()
+			done++
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "[%2d/%d] %s\n", done, len(names), row)
+			}
+		},
+	}
+	if !*quiet {
+		opts.Observer = func(ev dualvdd.Event) {
+			e, ok := ev.(dualvdd.EventResult)
+			if !ok {
+				return
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			fmt.Fprintf(os.Stderr, "        %-10s %-7s %6.2f%%  (%d low, %d sized, %d STA evals)\n",
+				e.Circuit, e.Result.Algorithm, e.Result.ImprovePct,
+				e.Result.LowGates, e.Result.Sized, e.Result.STAEvals)
+		}
+	}
+
+	rows, err := harness.RunAllContext(context.Background(), cfg, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
 	}
 
 	if *markdown {

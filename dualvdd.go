@@ -12,15 +12,36 @@
 // See internal/core for the algorithmics and DESIGN.md for the full map
 // from the paper to this repository.
 //
-// Typical use:
+// The primary surface is the context-aware Flow, built with functional
+// options; it supports cancellation, deadlines and typed progress events,
+// and composes with Batch for parallel suite evaluation:
 //
-//	cfg := dualvdd.DefaultConfig()
-//	d, err := dualvdd.PrepareBenchmark("C880", cfg)
-//	res, err := d.RunGscale()
+//	flow := dualvdd.New(
+//		dualvdd.WithVoltages(5.0, 4.3),
+//		dualvdd.WithObserver(func(ev dualvdd.Event) { ... }),
+//	)
+//	d, err := flow.PrepareBenchmark(ctx, "C880")
+//	res, err := d.RunGscaleContext(ctx)
 //	fmt.Printf("%.2f%% power saved\n", res.ImprovePct)
+//
+// # Migration from Config
+//
+// The flat Config struct and the context-free entry points predate Flow and
+// remain as thin compatibility wrappers: Prepare(net, cfg) is
+// New(FromConfig(cfg)).Prepare(context.Background(), net), and
+// Design.RunGscale is RunGscaleContext(context.Background()). New code
+// should build a Flow with options — FromConfig bridges code that still
+// assembles a Config. Each With* option corresponds to one Config field
+// (WithVoltages ↔ Vhigh/Vlow, WithSlackFactor ↔ SlackFactor, WithAreaBudget
+// ↔ MaxAreaIncrease, WithMaxIter ↔ MaxIter, WithSimWords ↔ SimWords,
+// WithSeed ↔ Seed, WithClock ↔ Fclk, WithGreedySelect/WithGreedySizing ↔
+// the ablation knobs); WithAlgorithms and WithObserver have no Config
+// counterpart.
 package dualvdd
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -97,10 +118,25 @@ type Design struct {
 	OrgPower float64
 
 	cfg Config
+	obs Observer
 }
 
 // Prepare maps a logic network and measures its original power.
+// Compatibility wrapper; new code uses Flow.Prepare or PrepareContext.
 func Prepare(net *logic.Network, cfg Config) (*Design, error) {
+	return PrepareContext(context.Background(), net, cfg)
+}
+
+// PrepareContext is Prepare honoring a context: cancellation is checked
+// between the pipeline's stages (mapping, power measurement).
+func PrepareContext(ctx context.Context, net *logic.Network, cfg Config) (*Design, error) {
+	return prepare(ctx, net, cfg, nil)
+}
+
+func prepare(ctx context.Context, net *logic.Network, cfg Config, obs Observer) (*Design, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	lib := cell.Compass06At(cfg.Vhigh, cfg.Vlow)
 	mopts := mapper.DefaultOptions()
 	mopts.SlackFactor = cfg.SlackFactor
@@ -115,32 +151,49 @@ func Prepare(net *logic.Network, cfg Config) (*Design, error) {
 		MinDelay: res.MinDelay,
 		Tspec:    res.Tspec,
 		cfg:      cfg,
+		obs:      obs,
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	pb, _, err := power.EstimateRandom(res.Circuit, lib, cfg.SimWords, cfg.Seed, cfg.Fclk)
 	if err != nil {
 		return nil, err
 	}
 	d.OrgPower = pb.Total
+	obs.emit(EventMapped{
+		Circuit: d.Name, Gates: d.Circuit.NumLiveGates(),
+		MinDelay: d.MinDelay, Tspec: d.Tspec, OrgPower: d.OrgPower,
+	})
 	return d, nil
 }
 
 // PrepareBenchmark generates one of the 39 MCNC stand-in benchmarks and
-// prepares it.
+// prepares it. Compatibility wrapper; new code uses Flow.PrepareBenchmark.
 func PrepareBenchmark(name string, cfg Config) (*Design, error) {
+	return prepareBenchmark(context.Background(), name, cfg, nil)
+}
+
+func prepareBenchmark(ctx context.Context, name string, cfg Config, obs Observer) (*Design, error) {
 	net, err := mcnc.Generate(name)
 	if err != nil {
 		return nil, err
 	}
-	return Prepare(net, cfg)
+	return prepare(ctx, net, cfg, obs)
 }
 
 // LoadBLIF reads a technology-independent BLIF model and prepares it.
+// Compatibility wrapper; new code uses Flow.LoadBLIF.
 func LoadBLIF(r io.Reader, cfg Config) (*Design, error) {
+	return loadBLIF(context.Background(), r, cfg, nil)
+}
+
+func loadBLIF(ctx context.Context, r io.Reader, cfg Config, obs Observer) (*Design, error) {
 	net, err := blif.ParseNetwork(r)
 	if err != nil {
 		return nil, err
 	}
-	return Prepare(net, cfg)
+	return prepare(ctx, net, cfg, obs)
 }
 
 // Benchmarks lists the 39 circuit names of the paper's test bed.
@@ -187,11 +240,35 @@ func (d *Design) coreOptions() core.Options {
 	return o
 }
 
-func (d *Design) run(name string, algo func(*netlist.Circuit, *cell.Library, core.Options) (*core.Result, error)) (*FlowResult, error) {
+func (d *Design) run(ctx context.Context, name string, algo func(*netlist.Circuit, *cell.Library, core.Options) (*core.Result, error)) (*FlowResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	opts := d.coreOptions()
+	opts.Ctx = ctx
+	if obs := d.obs; obs != nil {
+		circuit := d.Name
+		opts.Observer = func(ce core.Event) {
+			switch ce.Kind {
+			case core.EventMove:
+				obs(EventMove{Circuit: circuit, Algorithm: ce.Algorithm,
+					Round: ce.Round, Gate: ce.Gate})
+			case core.EventRound:
+				obs(EventRoundDone{Circuit: circuit, Algorithm: ce.Algorithm,
+					Round: ce.Round, Moves: ce.Moves, LowGates: ce.LowGates,
+					Power: ce.Power, STAEvals: ce.STAEvals, WorstArrival: ce.WorstArrival})
+			}
+		}
+	}
 	ckt := d.Circuit.Clone()
 	start := time.Now()
-	cres, err := algo(ckt, d.Lib, d.coreOptions())
+	cres, err := algo(ckt, d.Lib, opts)
 	if err != nil {
+		// A cancelled or expired context surfaces as exactly ctx.Err(),
+		// unwrapped, so callers can compare against context.Canceled.
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, err
+		}
 		return nil, fmt.Errorf("dualvdd: %s on %s: %w", name, d.Name, err)
 	}
 	elapsed := time.Since(start)
@@ -230,22 +307,45 @@ func (d *Design) run(name string, algo func(*netlist.Circuit, *cell.Library, cor
 	if gates > 0 {
 		fr.LowRatio = float64(fr.LowGates) / float64(gates)
 	}
+	d.obs.emit(EventResult{Circuit: d.Name, Result: fr})
 	return fr, nil
 }
 
 // RunCVS applies clustered voltage scaling to a clone of the design.
+// Compatibility wrapper around RunCVSContext.
 func (d *Design) RunCVS() (*FlowResult, error) {
-	return d.run("CVS", core.RunCVS)
+	return d.RunCVSContext(context.Background())
+}
+
+// RunCVSContext is RunCVS honoring a context: a cancelled or expired context
+// aborts the sweep promptly and returns ctx.Err(). The design's pristine
+// Circuit is never touched — algorithms run on clones.
+func (d *Design) RunCVSContext(ctx context.Context) (*FlowResult, error) {
+	return d.run(ctx, "CVS", core.RunCVS)
 }
 
 // RunDscale applies the paper's Dscale algorithm to a clone of the design.
+// Compatibility wrapper around RunDscaleContext.
 func (d *Design) RunDscale() (*FlowResult, error) {
-	return d.run("Dscale", core.Dscale)
+	return d.RunDscaleContext(context.Background())
+}
+
+// RunDscaleContext is RunDscale honoring a context: a cancelled or expired
+// context aborts within one slack-harvesting round with ctx.Err().
+func (d *Design) RunDscaleContext(ctx context.Context) (*FlowResult, error) {
+	return d.run(ctx, "Dscale", core.Dscale)
 }
 
 // RunGscale applies the paper's Gscale algorithm to a clone of the design.
+// Compatibility wrapper around RunGscaleContext.
 func (d *Design) RunGscale() (*FlowResult, error) {
-	return d.run("Gscale", core.Gscale)
+	return d.RunGscaleContext(context.Background())
+}
+
+// RunGscaleContext is RunGscale honoring a context: a cancelled or expired
+// context aborts within one TCB push with ctx.Err().
+func (d *Design) RunGscaleContext(ctx context.Context) (*FlowResult, error) {
+	return d.run(ctx, "Gscale", core.Gscale)
 }
 
 // WriteBLIF exports a mapped (possibly scaled) circuit as .gate-form BLIF

@@ -1,0 +1,95 @@
+package dualvdd
+
+// Event is a progress notification from the flow. The concrete types are
+// EventMapped, EventMove, EventRoundDone and EventResult; observers switch on
+// the type:
+//
+//	flow := dualvdd.New(dualvdd.WithObserver(func(ev dualvdd.Event) {
+//		switch e := ev.(type) {
+//		case dualvdd.EventRoundDone:
+//			fmt.Printf("%s %s round %d: %d low gates\n",
+//				e.Circuit, e.Algorithm, e.Round, e.LowGates)
+//		}
+//	}))
+//
+// Events are emitted synchronously from the algorithm loops: an observer must
+// be cheap and must not call back into the emitting Design. When a Design is
+// evaluated through Batch (or internal/harness at Workers > 1), the observer
+// is invoked concurrently from multiple worker goroutines and must be safe
+// for concurrent use — wrap it with a mutex if it writes shared state.
+type Event interface{ isEvent() }
+
+// EventMapped reports a prepared design: the circuit has been technology
+// mapped against the dual-voltage library, relaxed to its timing constraint
+// and measured for original power. Emitted once per Prepare.
+type EventMapped struct {
+	// Circuit is the design name.
+	Circuit string
+	// Gates is the number of live mapped gates.
+	Gates int
+	// MinDelay is the minimum-delay mapping's critical path (ns); Tspec the
+	// relaxed constraint handed to the algorithms.
+	MinDelay float64
+	Tspec    float64
+	// OrgPower is the single-supply power in watts.
+	OrgPower float64
+}
+
+// EventMove reports one accepted per-gate move: a supply lowering inside a
+// CVS sweep or a Dscale round. Nested CVS runs (the initial clustering of
+// Dscale, Gscale's TCB pushes) report under the outer algorithm's name with
+// the outer round number.
+type EventMove struct {
+	Circuit   string
+	Algorithm string
+	// Round is the iteration the move belongs to (0 = the initial nested
+	// CVS clustering of Dscale/Gscale).
+	Round int
+	// Gate is the lowered gate's index in Design.Circuit's gate table.
+	Gate int
+}
+
+// EventRoundDone reports one finished algorithm iteration: a Dscale
+// slack-harvesting round or a Gscale TCB push (CVS emits a single round for
+// its one sweep).
+type EventRoundDone struct {
+	Circuit   string
+	Algorithm string
+	Round     int
+	// Moves counts the iteration's accepted moves — lowered gates for
+	// CVS/Dscale, resized gates for Gscale.
+	Moves int
+	// LowGates is the current number of ordinary gates at Vlow.
+	LowGates int
+	// Power is the current total-power estimate in watts where the loop has
+	// activity data at hand (Dscale rounds); 0 means "not computed".
+	Power float64
+	// STAEvals is the cumulative incremental-timing evaluation count.
+	STAEvals int64
+	// WorstArrival is the current critical-path arrival time (ns).
+	WorstArrival float64
+}
+
+// EventResult reports a finished algorithm run with its verified result.
+// Emitted once per Run* call, after the final timing check and power
+// measurement.
+type EventResult struct {
+	Circuit string
+	Result  *FlowResult
+}
+
+func (EventMapped) isEvent()    {}
+func (EventMove) isEvent()      {}
+func (EventRoundDone) isEvent() {}
+func (EventResult) isEvent()    {}
+
+// Observer receives flow progress events. A nil Observer is valid and means
+// "no observation".
+type Observer func(Event)
+
+// emit sends ev to the observer when one is set.
+func (o Observer) emit(ev Event) {
+	if o != nil {
+		o(ev)
+	}
+}

@@ -1,0 +1,59 @@
+// progress streams the Flow's typed event feed while the paper's flow runs
+// on C880: the mapping summary, every accepted per-gate move (counted, not
+// printed), each algorithm iteration with its live state, and the verified
+// final result — the observability surface a service would export as
+// metrics. The whole run sits under a context deadline.
+//
+//	go run ./examples/progress
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"dualvdd"
+)
+
+func main() {
+	moves := 0
+	flow := dualvdd.New(
+		dualvdd.WithAlgorithms(dualvdd.AlgoDscale, dualvdd.AlgoGscale),
+		dualvdd.WithObserver(func(ev dualvdd.Event) {
+			switch e := ev.(type) {
+			case dualvdd.EventMapped:
+				fmt.Printf("mapped %s: %d gates, min delay %.3f ns, constraint %.3f ns, %.2f uW\n",
+					e.Circuit, e.Gates, e.MinDelay, e.Tspec, e.OrgPower*1e6)
+			case dualvdd.EventMove:
+				moves++
+			case dualvdd.EventRoundDone:
+				line := fmt.Sprintf("  %s round %2d: %3d moves, %3d low gates, worst arrival %.4f ns, %d STA evals",
+					e.Algorithm, e.Round, e.Moves, e.LowGates, e.WorstArrival, e.STAEvals)
+				if e.Power > 0 {
+					line += fmt.Sprintf(", %.2f uW", e.Power*1e6)
+				}
+				fmt.Println(line)
+			case dualvdd.EventResult:
+				fmt.Printf("%s done: %.2f%% saved (%d per-gate moves observed so far)\n\n",
+					e.Result.Algorithm, e.Result.ImprovePct, moves)
+			}
+		}),
+	)
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	d, err := flow.PrepareBenchmark(ctx, "C880")
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := flow.Run(ctx, d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, res := range results {
+		fmt.Printf("%-7s %6.2f%% saved, %d/%d gates low, %d LCs, %d resized\n",
+			res.Algorithm, res.ImprovePct, res.LowGates, res.Gates, res.LCs, res.Sized)
+	}
+}

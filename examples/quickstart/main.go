@@ -1,10 +1,11 @@
 // Quickstart: build a small circuit with the public API, run the paper's
-// three algorithms, and print what each one saves.
+// three algorithms through the Flow surface, and print what each one saves.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,21 +34,25 @@ func main() {
 	}
 	n.AddPO("cout", carry)
 
-	// Prepare = technology-map against the dual-voltage library, relax the
-	// timing constraint 20% as the paper does, and measure original power.
-	cfg := dualvdd.DefaultConfig()
-	d, err := dualvdd.Prepare(n, cfg)
+	// A Flow is the configured pipeline: prepare = technology-map against
+	// the dual-voltage library, relax the timing constraint 20% as the
+	// paper does, and measure original power; Run = the three algorithms
+	// on fresh clones. The zero-option New reproduces the paper's setup.
+	ctx := context.Background()
+	flow := dualvdd.New(dualvdd.WithVoltages(5.0, 4.3))
+	cfg := flow.Config()
+	d, err := flow.Prepare(ctx, n)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("%s: %d gates, constraint %.2f ns, original power %.2f uW at (%.1fV only)\n\n",
 		d.Name, d.Circuit.NumLiveGates(), d.Tspec, d.OrgPower*1e6, cfg.Vhigh)
 
-	for _, run := range []func() (*dualvdd.FlowResult, error){d.RunCVS, d.RunDscale, d.RunGscale} {
-		res, err := run()
-		if err != nil {
-			log.Fatal(err)
-		}
+	results, err := flow.Run(ctx, d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, res := range results {
 		fmt.Printf("%-7s saves %5.2f%%  (%d of %d gates at %.1fV, %d level converters, %d resized)\n",
 			res.Algorithm, res.ImprovePct, res.LowGates, res.Gates, cfg.Vlow, res.LCs, res.Sized)
 	}

@@ -1,0 +1,235 @@
+package dualvdd_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"dualvdd"
+)
+
+func TestFlowOptionsResolveToConfig(t *testing.T) {
+	flow := dualvdd.New(
+		dualvdd.WithVoltages(3.3, 2.5),
+		dualvdd.WithSlackFactor(1.3),
+		dualvdd.WithAreaBudget(0.2),
+		dualvdd.WithMaxIter(7),
+		dualvdd.WithSimWords(64),
+		dualvdd.WithSeed(99),
+		dualvdd.WithClock(50e6),
+		dualvdd.WithGreedySelect(true),
+		dualvdd.WithGreedySizing(true),
+	)
+	want := dualvdd.Config{
+		Vhigh: 3.3, Vlow: 2.5, SlackFactor: 1.3, MaxAreaIncrease: 0.2,
+		MaxIter: 7, SimWords: 64, Seed: 99, Fclk: 50e6,
+		GreedySelect: true, GreedySizing: true,
+	}
+	if got := flow.Config(); got != want {
+		t.Fatalf("options resolved to %+v, want %+v", got, want)
+	}
+	// The zero-option Flow reproduces the paper's defaults, and FromConfig
+	// round-trips a legacy Config through the option surface.
+	if got := dualvdd.New().Config(); got != dualvdd.DefaultConfig() {
+		t.Fatalf("New() config %+v differs from DefaultConfig", got)
+	}
+	if got := dualvdd.New(dualvdd.FromConfig(want)).Config(); got != want {
+		t.Fatalf("FromConfig round trip lost fields: %+v", got)
+	}
+	// Later options override FromConfig.
+	if got := dualvdd.New(dualvdd.FromConfig(want), dualvdd.WithSeed(1)).Config().Seed; got != 1 {
+		t.Fatalf("WithSeed after FromConfig ignored: seed=%d", got)
+	}
+}
+
+func TestFlowMatchesLegacyConfigAPI(t *testing.T) {
+	// The Flow surface is a re-plumbing, not a re-computation: results must
+	// be bit-identical to the legacy Config path.
+	ctx := context.Background()
+	cfg := dualvdd.DefaultConfig()
+
+	old, err := dualvdd.PrepareBenchmark("x2", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flow := dualvdd.New(dualvdd.FromConfig(cfg))
+	d, err := flow.PrepareBenchmark(ctx, "x2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.OrgPower != old.OrgPower || d.Tspec != old.Tspec || d.MinDelay != old.MinDelay {
+		t.Fatalf("prepared designs differ: %+v vs %+v", d, old)
+	}
+
+	results, err := flow.Run(ctx, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("default Flow must run all three algorithms, got %d results", len(results))
+	}
+	legacy := []func() (*dualvdd.FlowResult, error){old.RunCVS, old.RunDscale, old.RunGscale}
+	for i, run := range legacy {
+		want, err := run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := results[i]
+		if got.Algorithm != want.Algorithm || got.Power != want.Power ||
+			got.ImprovePct != want.ImprovePct || got.LowGates != want.LowGates ||
+			got.LCs != want.LCs || got.Sized != want.Sized || got.STAEvals != want.STAEvals {
+			t.Fatalf("%s: Flow result diverged from legacy API:\n%+v\n%+v",
+				want.Algorithm, got, want)
+		}
+	}
+}
+
+func TestFlowWithAlgorithmsSubset(t *testing.T) {
+	flow := dualvdd.New(dualvdd.WithAlgorithms(dualvdd.AlgoGscale, dualvdd.AlgoCVS))
+	d, err := flow.PrepareBenchmark(context.Background(), "z4ml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := flow.Run(context.Background(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0].Algorithm != "Gscale" || results[1].Algorithm != "CVS" {
+		t.Fatalf("WithAlgorithms order not honored: %v", results)
+	}
+	if _, err := d.RunAlgorithm(context.Background(), dualvdd.Algorithm("bogus")); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestObserverEventStream(t *testing.T) {
+	var events []dualvdd.Event
+	flow := dualvdd.New(
+		dualvdd.WithAlgorithms(dualvdd.AlgoDscale),
+		dualvdd.WithObserver(func(ev dualvdd.Event) { events = append(events, ev) }),
+	)
+	ctx := context.Background()
+	d, err := flow.PrepareBenchmark(ctx, "b9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := flow.Run(ctx, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(events) == 0 {
+		t.Fatal("observer saw no events")
+	}
+	mapped, ok := events[0].(dualvdd.EventMapped)
+	if !ok {
+		t.Fatalf("first event %T, want EventMapped", events[0])
+	}
+	if mapped.Circuit != "b9" || mapped.Gates <= 0 || mapped.OrgPower != d.OrgPower {
+		t.Fatalf("mapped event inconsistent with design: %+v", mapped)
+	}
+	last, ok := events[len(events)-1].(dualvdd.EventResult)
+	if !ok {
+		t.Fatalf("last event %T, want EventResult", events[len(events)-1])
+	}
+	if last.Result != results[0] {
+		t.Fatal("result event does not carry the returned FlowResult")
+	}
+
+	moves, rounds, lastRound := 0, 0, -1
+	for _, ev := range events {
+		switch e := ev.(type) {
+		case dualvdd.EventMove:
+			if e.Circuit != "b9" || e.Algorithm != "Dscale" {
+				t.Fatalf("mislabeled move event: %+v", e)
+			}
+			moves++
+		case dualvdd.EventRoundDone:
+			if e.Algorithm != "Dscale" || e.Round <= lastRound {
+				t.Fatalf("rounds not increasing: %+v after round %d", e, lastRound)
+			}
+			if e.Power <= 0 || e.STAEvals <= 0 || e.WorstArrival <= 0 {
+				t.Fatalf("Dscale round event missing live data: %+v", e)
+			}
+			lastRound = e.Round
+			rounds++
+		}
+	}
+	if moves == 0 || rounds == 0 {
+		t.Fatalf("event stream incomplete: %d moves, %d rounds", moves, rounds)
+	}
+	// Every accepted move must be visible: the run's low-gate count is the
+	// move count (Dscale only lowers; nothing raises a gate back).
+	if moves != results[0].LowGates {
+		t.Fatalf("%d move events for %d lowered gates", moves, results[0].LowGates)
+	}
+}
+
+func TestRunContextCancelMidGscale(t *testing.T) {
+	// Cancel from inside the observer on the first finished Gscale push:
+	// the run must abort with ctx.Err() within one iteration and must not
+	// corrupt the design's pristine circuit.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rounds := 0
+	flow := dualvdd.New(dualvdd.WithObserver(func(ev dualvdd.Event) {
+		if e, ok := ev.(dualvdd.EventRoundDone); ok && e.Algorithm == "Gscale" {
+			rounds++
+			cancel()
+		}
+	}))
+	d, err := flow.PrepareBenchmark(ctx, "alu2") // ~15 Gscale pushes normally
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := d.Circuit.CollectStats()
+
+	_, err = d.RunGscaleContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Gscale returned %v, want context.Canceled", err)
+	}
+	if rounds != 1 {
+		t.Fatalf("run continued for %d rounds after cancellation, want 1", rounds)
+	}
+	if after := d.Circuit.CollectStats(); after != before {
+		t.Fatalf("cancellation corrupted the pristine circuit: %+v -> %+v", before, after)
+	}
+	// The design stays usable: a fresh context completes normally.
+	res, err := d.RunGscaleContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ImprovePct <= 0 {
+		t.Fatalf("post-cancel rerun degenerate: %+v", res)
+	}
+}
+
+func TestRunContextAlreadyCancelled(t *testing.T) {
+	cfg := dualvdd.DefaultConfig()
+	d, err := dualvdd.PrepareBenchmark("z4ml", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, run := range []func(context.Context) (*dualvdd.FlowResult, error){
+		d.RunCVSContext, d.RunDscaleContext, d.RunGscaleContext,
+	} {
+		if _, err := run(ctx); !errors.Is(err, context.Canceled) {
+			t.Fatalf("pre-cancelled context: got %v, want context.Canceled", err)
+		}
+	}
+	if _, err := dualvdd.PrepareContext(ctx, nil, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("PrepareContext ignored cancelled context: %v", err)
+	}
+}
+
+func TestRunContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	flow := dualvdd.New()
+	if _, err := flow.PrepareBenchmark(ctx, "z4ml"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired deadline: got %v, want context.DeadlineExceeded", err)
+	}
+}

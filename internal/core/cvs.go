@@ -29,18 +29,31 @@ func CVS(ckt *netlist.Circuit, lib *cell.Library, tspec, eps float64) (*CVSResul
 	if err != nil {
 		return nil, err
 	}
-	return cvsOn(inc, ckt, eps)
+	opts := DefaultOptions(tspec)
+	opts.Eps = eps
+	return cvsOn(inc, ckt, &opts, "CVS", 1)
 }
+
+// ctxStride is how many gates the CVS sweep examines between context checks;
+// the sweep is a single algorithm iteration, so this bounds cancellation
+// latency well below one iteration on large circuits.
+const ctxStride = 256
 
 // cvsOn is CVS on a live incremental engine, so Gscale's repeated TCB pushes
 // and Dscale's initial clustering share one timing state. Each accepted move
 // re-times only the affected cones (the paper's update_timing) instead of the
-// whole circuit.
-func cvsOn(inc *sta.Incremental, ckt *netlist.Circuit, eps float64) (*CVSResult, error) {
+// whole circuit. Progress events report under algo (the outer algorithm when
+// nested) with the given round number.
+func cvsOn(inc *sta.Incremental, ckt *netlist.Circuit, opts *Options, algo string, round int) (*CVSResult, error) {
 	res := &CVSResult{}
 	order := inc.Order()
 	fan := inc.Fanouts()
 	for i := len(order) - 1; i >= 0; i-- {
+		if i%ctxStride == 0 {
+			if err := opts.interrupted(); err != nil {
+				return nil, err
+			}
+		}
 		gi := order[i]
 		g := ckt.Gates[gi]
 		if g.Dead || g.IsLC || g.Volt == cell.VLow {
@@ -52,12 +65,13 @@ func cvsOn(inc *sta.Incremental, ckt *netlist.Circuit, eps float64) (*CVSResult,
 		}
 		out := ckt.GateSignal(gi)
 		delta := inc.DeltaLow(gi)
-		if inc.Slack[out]-delta >= eps {
+		if inc.Slack[out]-delta >= opts.Eps {
 			// update_timing: arrivals grow downstream and required times
 			// shrink upstream, so gates examined later (our fanins) see
 			// fresh slacks.
 			inc.SetVolt(gi, cell.VLow)
 			res.Lowered++
+			opts.emit(Event{Algorithm: algo, Kind: EventMove, Round: round, Gate: gi})
 			continue
 		}
 		res.TCB = append(res.TCB, gi)
@@ -74,13 +88,17 @@ func RunCVS(ckt *netlist.Circuit, lib *cell.Library, opts Options) (*Result, err
 	if err != nil {
 		return nil, err
 	}
-	r, err := cvsOn(inc, ckt, opts.Eps)
+	r, err := cvsOn(inc, ckt, &opts, "CVS", 1)
 	if err != nil {
 		return nil, err
 	}
 	if err := selfCheck(inc, opts); err != nil {
 		return nil, err
 	}
+	opts.emit(Event{
+		Algorithm: "CVS", Kind: EventRound, Round: 1, Moves: r.Lowered,
+		LowGates: ckt.NumLowGates(), STAEvals: inc.Evals(), WorstArrival: inc.WorstArrival(),
+	})
 	return &Result{
 		Lowered:      ckt.NumLowGates(),
 		LCs:          ckt.NumLCs(),

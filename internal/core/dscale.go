@@ -102,7 +102,7 @@ func Dscale(ckt *netlist.Circuit, lib *cell.Library, opts Options) (*Result, err
 	if err != nil {
 		return nil, err
 	}
-	if _, err := cvsOn(inc, ckt, opts.Eps); err != nil {
+	if _, err := cvsOn(inc, ckt, &opts, "Dscale", 0); err != nil {
 		return nil, err
 	}
 	// Switching activities are a property of the logic alone: voltage moves
@@ -116,6 +116,9 @@ func Dscale(ckt *netlist.Circuit, lib *cell.Library, opts Options) (*Result, err
 	act := simRes.Act
 	res := &Result{}
 	for {
+		if err := opts.interrupted(); err != nil {
+			return nil, err
+		}
 		if err := selfCheck(inc, opts); err != nil {
 			return nil, err
 		}
@@ -184,6 +187,7 @@ func Dscale(ckt *netlist.Circuit, lib *cell.Library, opts Options) (*Result, err
 			if err != nil {
 				return nil, err
 			}
+			opts.emit(Event{Algorithm: "Dscale", Kind: EventMove, Round: res.Iterations + 1, Gate: gi})
 		}
 		bypassRedundantLCs(ckt, lib, inc, opts)
 		inc.Commit() // moves are final; cap journal growth
@@ -194,12 +198,40 @@ func Dscale(ckt *netlist.Circuit, lib *cell.Library, opts Options) (*Result, err
 		if !inc.Meets(opts.Eps) {
 			return nil, fmt.Errorf("core: Dscale violated timing (%.6f > %.6f)", inc.WorstArrival(), opts.Tspec)
 		}
+		if opts.Observer != nil {
+			opts.emit(Event{
+				Algorithm: "Dscale", Kind: EventRound, Round: res.Iterations,
+				Moves: len(lowSet), LowGates: ckt.NumLowGates(),
+				Power:    livePower(ckt, lib, inc, act, opts.Fclk),
+				STAEvals: inc.Evals(), WorstArrival: inc.WorstArrival(),
+			})
+		}
 	}
 	res.Lowered = ckt.NumLowGates()
 	res.LCs = ckt.NumLCs()
 	res.AreaIncrease = ckt.Area()/areaBefore - 1
 	res.STAEvals = inc.Evals()
 	return res, nil
+}
+
+// livePower sums the current total power (switching + internal + LC static)
+// from the engine's live load annotation and the run's activity table — the
+// same quantity power.Estimate reports, without rebuilding fanouts. Only used
+// to enrich progress events; the tables re-measure through power.Estimate.
+func livePower(ckt *netlist.Circuit, lib *cell.Library, inc *sta.Incremental, act []float64, fclk float64) float64 {
+	total := 0.0
+	for gi, g := range ckt.Gates {
+		if g.Dead {
+			continue
+		}
+		out := ckt.GateSignal(gi)
+		vdd := lib.VddOf(g.Volt)
+		total += power.Switch(act[out], fclk, inc.Load[out]+g.Cell.InternalCap, vdd)
+		if g.IsLC {
+			total += lib.LCStaticPower
+		}
+	}
+	return total
 }
 
 // greedyIndependent picks candidates highest-gain-first, discarding any that

@@ -113,7 +113,7 @@ func Gscale(ckt *netlist.Circuit, lib *cell.Library, opts Options) (*Result, err
 	if err != nil {
 		return nil, err
 	}
-	cvsRes, err := cvsOn(inc, ckt, opts.Eps)
+	cvsRes, err := cvsOn(inc, ckt, &opts, "Gscale", 0)
 	if err != nil {
 		return nil, err
 	}
@@ -122,6 +122,9 @@ func Gscale(ckt *netlist.Circuit, lib *cell.Library, opts Options) (*Result, err
 	res := &Result{}
 	counter := 0
 	for counter <= opts.MaxIter && len(tcb) > 0 {
+		if err := opts.interrupted(); err != nil {
+			return nil, err
+		}
 		if ckt.Area() >= maxArea-1e-12 {
 			break // no further area increase is allowed
 		}
@@ -263,7 +266,7 @@ func Gscale(ckt *netlist.Circuit, lib *cell.Library, opts Options) (*Result, err
 
 		// update_timing + push the TCB with another CVS run.
 		inc.Commit()
-		cvsRes, err = cvsOn(inc, ckt, opts.Eps)
+		cvsRes, err = cvsOn(inc, ckt, &opts, "Gscale", res.Iterations)
 		if err != nil {
 			return nil, err
 		}
@@ -274,6 +277,11 @@ func Gscale(ckt *netlist.Circuit, lib *cell.Library, opts Options) (*Result, err
 			counter = 0
 		}
 		tcb = tcbNew
+		opts.emit(Event{
+			Algorithm: "Gscale", Kind: EventRound, Round: res.Iterations,
+			Moves: resized, LowGates: ckt.NumLowGates(),
+			STAEvals: inc.Evals(), WorstArrival: inc.WorstArrival(),
+		})
 		if resized == 0 && !feasible {
 			break // sizing can make no further difference
 		}

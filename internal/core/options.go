@@ -19,6 +19,8 @@
 package core
 
 import (
+	"context"
+
 	"dualvdd/internal/cell"
 	"dualvdd/internal/netlist"
 )
@@ -57,6 +59,73 @@ type Options struct {
 	// fresh full analysis at every algorithm checkpoint. Differential-test
 	// hook; far too slow for production runs.
 	SelfCheck bool
+	// Ctx, when non-nil, is checked at every algorithm iteration (every
+	// Dscale round, every Gscale push, and periodically inside the CVS
+	// sweep); a cancelled or expired context aborts the run with ctx.Err()
+	// within one iteration. The observed circuit may carry a partially
+	// applied scaling when that happens — callers run algorithms on clones.
+	Ctx context.Context
+	// Observer, when non-nil, receives a progress Event for every accepted
+	// per-gate move and every finished algorithm iteration. It is called
+	// synchronously from the algorithm loop; observers must be cheap and
+	// must not mutate the circuit.
+	Observer Observer
+}
+
+// EventKind discriminates progress events.
+type EventKind uint8
+
+const (
+	// EventMove is one accepted per-gate move (a supply lowering).
+	EventMove EventKind = iota
+	// EventRound is one finished algorithm iteration (a Dscale round or a
+	// Gscale TCB push; CVS emits a single round for its one sweep).
+	EventRound
+)
+
+// Event is a progress notification from an algorithm loop.
+type Event struct {
+	// Algorithm is "CVS", "Dscale" or "Gscale". CVS runs nested inside
+	// Dscale and Gscale report under the outer algorithm's name.
+	Algorithm string
+	Kind      EventKind
+	// Round is the iteration number, starting at 1 (0 = the initial nested
+	// CVS clustering of Dscale/Gscale).
+	Round int
+	// Gate is the moved gate's index (EventMove only).
+	Gate int
+	// Moves counts the accepted moves of the finished iteration — lowered
+	// gates for CVS/Dscale rounds, resized gates for Gscale pushes
+	// (EventRound only).
+	Moves int
+	// LowGates is the current number of ordinary gates at Vlow.
+	LowGates int
+	// Power is the current total-power estimate in watts, filled when the
+	// loop has activity data at hand (Dscale rounds); 0 means "not
+	// computed", never "zero power".
+	Power float64
+	// STAEvals is the cumulative incremental-timing evaluation count.
+	STAEvals int64
+	// WorstArrival is the current critical-path arrival time (ns).
+	WorstArrival float64
+}
+
+// Observer receives progress events from an algorithm loop.
+type Observer func(Event)
+
+// interrupted returns the context's error, if a context is set and done.
+func (o *Options) interrupted() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	return o.Ctx.Err()
+}
+
+// emit sends ev to the observer, if one is set.
+func (o *Options) emit(ev Event) {
+	if o.Observer != nil {
+		o.Observer(ev)
+	}
 }
 
 // DefaultOptions returns the paper's parameters (Tspec must still be set by

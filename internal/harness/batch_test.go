@@ -1,0 +1,111 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"dualvdd"
+	"dualvdd/internal/report"
+)
+
+// determinismSuite spans the generator families without making the test
+// slow: balanced (mux), arithmetic (z4ml), random logic (x2, b9), folded
+// (pm1), control (sct).
+var determinismSuite = []string{"z4ml", "mux", "x2", "pm1", "b9", "sct"}
+
+// stripTimes zeroes the wall-clock fields, the only legitimate difference
+// between runs.
+func stripTimes(rows []report.Row) {
+	for i := range rows {
+		rows[i].CPUSec, rows[i].CVSSec, rows[i].DscaleSec = 0, 0, 0
+	}
+}
+
+// TestBatchDeterminismAcrossWorkers is the acceptance gate of the Batch
+// runner: Table 1/2 rows must be bit-identical at -parallel 1, 4 and
+// GOMAXPROCS, including the rendered tables the golden-file tests pin.
+// CI runs this under -race at GOMAXPROCS=2 and 8.
+func TestBatchDeterminismAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-flow determinism sweep is not short")
+	}
+	cfg := dualvdd.DefaultConfig()
+	ctx := context.Background()
+
+	serial, err := RunAllContext(ctx, cfg, Options{Circuits: determinismSuite, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripTimes(serial)
+	var wantT1, wantT2 bytes.Buffer
+	if err := report.WriteTable1(&wantT1, serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := report.WriteTable2(&wantT2, serial); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{4, runtime.GOMAXPROCS(0)} {
+		rows, err := RunAllContext(ctx, cfg, Options{Circuits: determinismSuite, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stripTimes(rows)
+		for i := range serial {
+			if rows[i] != serial[i] {
+				t.Fatalf("workers=%d: row %d diverged from serial run:\n%+v\n%+v",
+					workers, i, rows[i], serial[i])
+			}
+		}
+		var gotT1, gotT2 bytes.Buffer
+		if err := report.WriteTable1(&gotT1, rows); err != nil {
+			t.Fatal(err)
+		}
+		if err := report.WriteTable2(&gotT2, rows); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gotT1.Bytes(), wantT1.Bytes()) || !bytes.Equal(gotT2.Bytes(), wantT2.Bytes()) {
+			t.Fatalf("workers=%d: rendered tables differ from the serial rendering", workers)
+		}
+	}
+}
+
+func TestRunAllContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunAllContext(ctx, dualvdd.DefaultConfig(),
+		Options{Circuits: []string{"z4ml", "x2"}}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled suite returned %v, want context.Canceled", err)
+	}
+}
+
+func TestRunAllContextCallbacks(t *testing.T) {
+	var rowsSeen, resultEvents atomic.Int64
+	rows, err := RunAllContext(context.Background(), dualvdd.DefaultConfig(), Options{
+		Circuits: []string{"z4ml", "x2"},
+		Workers:  2,
+		Observer: func(ev dualvdd.Event) {
+			if _, ok := ev.(dualvdd.EventResult); ok {
+				resultEvents.Add(1)
+			}
+		},
+		OnRow: func(i int, row report.Row) { rowsSeen.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Name != "z4ml" || rows[1].Name != "x2" {
+		t.Fatalf("rows out of order: %v", rows)
+	}
+	if rowsSeen.Load() != 2 {
+		t.Fatalf("OnRow fired %d times, want 2", rowsSeen.Load())
+	}
+	// Three algorithms per circuit, two circuits.
+	if resultEvents.Load() != 6 {
+		t.Fatalf("observer saw %d EventResult, want 6", resultEvents.Load())
+	}
+}
