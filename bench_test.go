@@ -23,6 +23,7 @@ import (
 	"dualvdd/internal/harness"
 	"dualvdd/internal/netlist"
 	"dualvdd/internal/report"
+	"dualvdd/internal/sim"
 	"dualvdd/internal/sta"
 )
 
@@ -60,8 +61,12 @@ func BenchmarkTable1(b *testing.B) {
 			b.ReportMetric(row.CVSSec*1e3, "CVS_ms")
 			b.ReportMetric(row.DscaleSec*1e3, "Dscale_ms")
 			b.ReportMetric(row.CPUSec*1e3, "Gscale_ms")
+			b.ReportMetric(row.SimSec*1e3, "sim_ms")
 			b.ReportMetric(float64(row.DscaleEvals), "Dscale_staEvals")
 			b.ReportMetric(float64(row.GscaleEvals), "Gscale_staEvals")
+			// Candidate-cache effectiveness: the full-rescan equivalent is
+			// gates × (rounds+1); the drop is the incremental win.
+			b.ReportMetric(float64(row.DscaleCandEvals), "Dscale_candEvals")
 		})
 	}
 }
@@ -217,6 +222,48 @@ func BenchmarkAblationMaxIter(b *testing.B) {
 				pct = res.ImprovePct
 			}
 			b.ReportMetric(pct, "Gscale_%")
+		})
+	}
+}
+
+// BenchmarkSim pits the compiled simulation engine against the reference
+// interpreter on the largest routine circuits, at the evaluation's word count
+// (SimWords = 256). compiled-1 is the single-thread tape (the acceptance
+// target: ≥ 4x over reference on des-class circuits); compiled-par adds the
+// word-parallel workers, whose statistics are bit-identical by construction
+// (integer reduction in fixed order, see TestCompiledMatchesReferenceOnSuite).
+func BenchmarkSim(b *testing.B) {
+	cfg := dualvdd.DefaultConfig()
+	for _, name := range []string{"C880", "alu4", "des"} {
+		d, err := dualvdd.PrepareBenchmark(name, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		words, seed := cfg.SimWords, cfg.Seed
+		b.Run("reference/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.RunReference(d.Circuit, words, seed); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		p, err := sim.Compile(d.Circuit)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("compiled-1/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Run(words, seed, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("compiled-par/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Run(words, seed, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

@@ -10,7 +10,8 @@
 // Usage:
 //
 //	tables [-table 1|2|all] [-circuits name,name,...] [-parallel N]
-//	       [-markdown] [-check] [-quiet]
+//	       [-markdown] [-check] [-quiet] [-bench-json file]
+//	       [-cpuprofile file] [-memprofile file]
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 
@@ -27,6 +29,13 @@ import (
 	"dualvdd/internal/report"
 )
 
+// die flushes any active CPU profile (os.Exit skips defers) and exits 1.
+func die(args ...any) {
+	pprof.StopCPUProfile()
+	fmt.Fprintln(os.Stderr, append([]any{"tables:"}, args...)...)
+	os.Exit(1)
+}
+
 func main() {
 	table := flag.String("table", "all", "which table to print: 1, 2 or all")
 	circuits := flag.String("circuits", "", "comma-separated circuit subset (default: all 39)")
@@ -34,7 +43,22 @@ func main() {
 	markdown := flag.Bool("markdown", false, "emit Markdown (for EXPERIMENTS.md)")
 	check := flag.Bool("check", false, "run trend-shape assertions against the paper's claims")
 	quiet := flag.Bool("quiet", false, "suppress per-circuit progress lines")
+	benchJSON := flag.String("bench-json", "", "write a machine-readable perf snapshot (per-circuit ms, STA/candidate evals) to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (post-sweep) to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			die(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			die(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	cfg := dualvdd.DefaultConfig()
 	var names []string
@@ -78,27 +102,45 @@ func main() {
 
 	rows, err := harness.RunAllContext(context.Background(), cfg, opts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tables:", err)
-		os.Exit(1)
+		die(err)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			die(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			die(err)
+		}
+		f.Close()
+	}
+	if *benchJSON != "" {
+		f, err := os.Create(*benchJSON)
+		if err != nil {
+			die(err)
+		}
+		if err := report.WriteBenchJSON(f, rows); err != nil {
+			die(err)
+		}
+		f.Close()
 	}
 
 	if *markdown {
 		if err := report.WriteMarkdown(os.Stdout, rows); err != nil {
-			fmt.Fprintln(os.Stderr, "tables:", err)
-			os.Exit(1)
+			die(err)
 		}
 	} else {
 		if *table == "1" || *table == "all" {
 			if err := report.WriteTable1(os.Stdout, rows); err != nil {
-				fmt.Fprintln(os.Stderr, "tables:", err)
-				os.Exit(1)
+				die(err)
 			}
 			fmt.Println()
 		}
 		if *table == "2" || *table == "all" {
 			if err := report.WriteTable2(os.Stdout, rows); err != nil {
-				fmt.Fprintln(os.Stderr, "tables:", err)
-				os.Exit(1)
+				die(err)
 			}
 		}
 	}

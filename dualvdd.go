@@ -34,9 +34,9 @@
 // assembles a Config. Each With* option corresponds to one Config field
 // (WithVoltages ↔ Vhigh/Vlow, WithSlackFactor ↔ SlackFactor, WithAreaBudget
 // ↔ MaxAreaIncrease, WithMaxIter ↔ MaxIter, WithSimWords ↔ SimWords,
-// WithSeed ↔ Seed, WithClock ↔ Fclk, WithGreedySelect/WithGreedySizing ↔
-// the ablation knobs); WithAlgorithms and WithObserver have no Config
-// counterpart.
+// WithSimWorkers ↔ SimWorkers, WithSeed ↔ Seed, WithClock ↔ Fclk,
+// WithGreedySelect/WithGreedySizing ↔ the ablation knobs); WithAlgorithms
+// and WithObserver have no Config counterpart.
 package dualvdd
 
 import (
@@ -72,6 +72,10 @@ type Config struct {
 	MaxIter int
 	// SimWords is the number of 64-vector words for power estimation.
 	SimWords int
+	// SimWorkers bounds the word-parallel workers of the compiled logic
+	// simulation; 0 means GOMAXPROCS. Any setting produces bit-identical
+	// estimates — the workers reduce integer statistics in fixed order.
+	SimWorkers int
 	// Seed drives the random simulation.
 	Seed uint64
 	// Fclk is the power-estimation clock (20 MHz in the paper).
@@ -156,7 +160,7 @@ func prepare(ctx context.Context, net *logic.Network, cfg Config, obs Observer) 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	pb, _, err := power.EstimateRandom(res.Circuit, lib, cfg.SimWords, cfg.Seed, cfg.Fclk)
+	pb, _, err := power.EstimateRandomParallel(res.Circuit, lib, cfg.SimWords, cfg.Seed, cfg.Fclk, cfg.SimWorkers)
 	if err != nil {
 		return nil, err
 	}
@@ -223,6 +227,13 @@ type FlowResult struct {
 	// circuit size. The ratio STAEvals/(moves × gates) is the incremental
 	// engine's win.
 	STAEvals int64
+	// CandEvals counts Dscale candidate-cache re-evaluations (zero for the
+	// other algorithms); a full per-round rescan would pay roughly
+	// gates × rounds. See core.Result.CandEvals.
+	CandEvals int64
+	// SimTime is the wall clock spent in logic simulation: the algorithm's
+	// own activity estimation plus the final power measurement.
+	SimTime time.Duration
 	// Circuit is the scaled clone, for inspection or BLIF export.
 	Circuit *netlist.Circuit
 }
@@ -233,6 +244,7 @@ func (d *Design) coreOptions() core.Options {
 	o.MaxIter = d.cfg.MaxIter
 	o.MaxAreaIncrease = d.cfg.MaxAreaIncrease
 	o.SimWords = d.cfg.SimWords
+	o.SimWorkers = d.cfg.SimWorkers
 	o.Seed = d.cfg.Seed
 	o.Fclk = d.cfg.Fclk
 	o.GreedySelect = d.cfg.GreedySelect
@@ -281,10 +293,12 @@ func (d *Design) run(ctx context.Context, name string, algo func(*netlist.Circui
 		return nil, fmt.Errorf("dualvdd: %s on %s violated timing: %.4f > %.4f",
 			name, d.Name, t.WorstArrival, d.Tspec)
 	}
-	pb, _, err := power.EstimateRandom(ckt, d.Lib, d.cfg.SimWords, d.cfg.Seed, d.cfg.Fclk)
+	simStart := time.Now()
+	pb, _, err := power.EstimateRandomParallel(ckt, d.Lib, d.cfg.SimWords, d.cfg.Seed, d.cfg.Fclk, d.cfg.SimWorkers)
 	if err != nil {
 		return nil, err
 	}
+	simTime := cres.SimTime + time.Since(simStart)
 	gates := 0
 	for _, g := range ckt.Gates {
 		if !g.Dead && !g.IsLC {
@@ -302,6 +316,8 @@ func (d *Design) run(ctx context.Context, name string, algo func(*netlist.Circui
 		AreaIncrease: ckt.Area()/d.Circuit.Area() - 1,
 		Runtime:      elapsed,
 		STAEvals:     cres.STAEvals,
+		CandEvals:    cres.CandEvals,
+		SimTime:      simTime,
 		Circuit:      ckt,
 	}
 	if gates > 0 {

@@ -84,6 +84,13 @@ func WithSimWords(n int) Option {
 	return func(f *Flow) { f.cfg.SimWords = n }
 }
 
+// WithSimWorkers bounds the word-parallel workers of the compiled logic
+// simulation (0 = GOMAXPROCS). Estimates are bit-identical at any setting;
+// the knob trades sim wall clock against CPU contention with the Batch pool.
+func WithSimWorkers(n int) Option {
+	return func(f *Flow) { f.cfg.SimWorkers = n }
+}
+
 // WithSeed sets the random-simulation seed; the whole flow is deterministic
 // in it.
 func WithSeed(seed uint64) Option {

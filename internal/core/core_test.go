@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"dualvdd/internal/cell"
+	"dualvdd/internal/mapper"
+	"dualvdd/internal/mcnc"
 	"dualvdd/internal/netlist"
 	"dualvdd/internal/sim"
 	"dualvdd/internal/sta"
@@ -403,10 +405,12 @@ func TestApplyLowInsertsSharedConverter(t *testing.T) {
 	}
 	act := make([]float64, c.NumSignals())
 	act[int(s)] = 0.25
-	act, err = applyLow(c, lib, inc, act, 0)
-	if err != nil {
+	opts := DefaultOptions(100)
+	st := newDscaleState(c, lib, inc, &opts, act)
+	if err := st.applyLow(0); err != nil {
 		t.Fatal(err)
 	}
+	act = st.act
 	if got := c.NumLCs(); got != 1 {
 		t.Fatalf("%d converters inserted, want 1 shared", got)
 	}
@@ -533,5 +537,133 @@ func TestTCBDefinition(t *testing.T) {
 			t.Fatalf("TCB gate %s could actually be scaled (slack %.4f, delta %.4f)",
 				g.Name, tm.Slack[out], delta)
 		}
+	}
+}
+
+// TestDscaleCandidateCacheDifferential runs Dscale with SelfCheck on mapped
+// MCNC circuits: every round, dscaleState.verify cross-checks the incremental
+// candidate cache, the maintained MWIS adjacency and the running power total
+// against from-scratch rebuilds, and the engine against a fresh analysis.
+// This is the acceptance harness of the dirty-set maintenance.
+func TestDscaleCandidateCacheDifferential(t *testing.T) {
+	names := []string{"z4ml", "b9", "C880", "alu2", "sct"}
+	if testing.Short() {
+		names = names[:2]
+	}
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			net, err := mcnc.Generate(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mres, err := mapper.Map(net, lib, mapper.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := DefaultOptions(mres.Tspec)
+			opts.SimWords = 64
+			opts.SelfCheck = true
+			res, err := Dscale(mres.Circuit, lib, opts)
+			if err != nil {
+				t.Fatalf("Dscale self-check on %s: %v", name, err)
+			}
+			if res.CandEvals <= 0 {
+				t.Fatal("candidate evaluation counter not maintained")
+			}
+			// The cache can never evaluate more than the rescan loop did:
+			// live gates per round plus the initial full pass.
+			bound := int64(mres.Circuit.NumLiveGates()) * int64(res.Iterations+1)
+			if res.CandEvals > bound {
+				t.Fatalf("CandEvals %d exceeds the full-rescan bound %d", res.CandEvals, bound)
+			}
+		})
+	}
+}
+
+// TestDscaleInnerLoopAllocations pins the steady-state allocation behavior of
+// the Dscale inner machinery: candidate evaluation is allocation-free, and
+// the greedy-selection conflict tracking reuses its bitset scratch.
+func TestDscaleInnerLoopAllocations(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	c := randomCircuit(rng, 9, 140)
+	tspec := 1.3 * tspecOf(t, c)
+	inc, err := sta.NewIncremental(c, lib, tspec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions(tspec)
+	act := make([]float64, c.NumSignals())
+	for i := range act {
+		act[i] = 0.25
+	}
+	st := newDscaleState(c, lib, inc, &opts, act)
+
+	var gis []int
+	for gi, g := range c.Gates {
+		if !g.Dead && !g.IsLC {
+			gis = append(gis, gi)
+		}
+	}
+	i := 0
+	avg := testing.AllocsPerRun(100, func() {
+		gi := gis[i%len(gis)]
+		i++
+		if _, ok := evalCandidate(c, lib, inc, act, opts.Fclk, gi); !ok {
+			t.Fatal("evalCandidate refused a live gate")
+		}
+	})
+	if avg > 0 {
+		t.Fatalf("evalCandidate allocates %.1f objects per call, want 0", avg)
+	}
+
+	cands := st.gather()
+	if len(cands) == 0 {
+		t.Skip("no candidates on this circuit shape")
+	}
+	st.greedyIndependent(cands) // warm the scratch buffers
+	avg = testing.AllocsPerRun(50, func() {
+		st.greedyIndependent(cands)
+	})
+	// One allocation remains per call: the returned chosen-set copy.
+	if avg > 2 {
+		t.Fatalf("greedyIndependent allocates %.1f objects per call after warm-up, want <= 2", avg)
+	}
+}
+
+// TestDscaleCandidateEvalsDropOnLargeCircuits pins the point of the
+// incremental candidate maintenance: on the big circuits, total cache
+// re-evaluations stay well below what the per-round full rescan paid
+// (live gates × (rounds+1)), i.e. the per-round evaluation count drops
+// super-linearly as rounds stop touching most of the circuit.
+func TestDscaleCandidateEvalsDropOnLargeCircuits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("maps the largest suite circuits")
+	}
+	for _, name := range []string{"rot", "C7552", "des"} {
+		t.Run(name, func(t *testing.T) {
+			net, err := mcnc.Generate(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mres, err := mapper.Map(net, lib, mapper.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := DefaultOptions(mres.Tspec)
+			res, err := Dscale(mres.Circuit, lib, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Iterations < 2 {
+				t.Skipf("only %d rounds; nothing to amortise", res.Iterations)
+			}
+			full := int64(mres.Circuit.NumLiveGates()) * int64(res.Iterations+1)
+			t.Logf("%s: %d live gates, %d rounds: candEvals %d vs full-rescan %d (%.1fx drop)",
+				name, mres.Circuit.NumLiveGates(), res.Iterations, res.CandEvals, full,
+				float64(full)/float64(res.CandEvals))
+			if res.CandEvals*2 > full {
+				t.Fatalf("candidate cache saved under 2x vs the rescan: %d of %d", res.CandEvals, full)
+			}
+		})
 	}
 }

@@ -2,7 +2,8 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"time"
 
 	"dualvdd/internal/cell"
 	"dualvdd/internal/graph"
@@ -15,6 +16,10 @@ import (
 // weightScale converts power gains in watts to the integer weights the flow
 // network uses. 1e12 keeps sub-µW gains well resolved.
 const weightScale = 1e12
+
+// maxPins is the widest cell in the library; the bypass worklist packs
+// (gate, pin) pairs into gate*maxPins+pin keys.
+const maxPins = 4
 
 // candidate is one Dscale candSet entry.
 type candidate struct {
@@ -88,6 +93,247 @@ func evalCandidate(ckt *netlist.Circuit, lib *cell.Library, inc *sta.Incremental
 	return candidate{gate: gi, deltaArr: deltaArr, lcDelay: lcDelay, gain: gain, needLC: nHigh > 0}, true
 }
 
+// dscaleState is the incrementally maintained working set of one Dscale run.
+// Everything in it is an exact function of the circuit plus the engine's
+// annotation; the change journal (sta.Incremental.DrainChanged) tells it
+// which gates to refresh, so each round touches only what the previous
+// round's moves disturbed instead of rescanning every gate. verify() checks
+// the whole invariant against a from-scratch rebuild under Options.SelfCheck.
+type dscaleState struct {
+	ckt  *netlist.Circuit
+	lib  *cell.Library
+	inc  *sta.Incremental
+	opts *Options
+
+	// act is the per-signal switching activity, extended (aliased) as level
+	// converters are inserted. Activities never change for existing signals.
+	act []float64
+
+	// Candidate cache: cand[gi] (guarded by candOK) is the last evaluated
+	// candidate decision for gate gi; candValid marks entries whose inputs
+	// have not changed since. candEvals counts real evaluations — the work a
+	// full rescan pays live-gates×rounds of.
+	candValid []bool
+	candOK    []bool
+	cand      []candidate
+	candEvals int64
+
+	// succ is the MWIS adjacency (driver→consumer, in consumer-table order),
+	// rebuilt per gate on change instead of per round. weight is the reusable
+	// node-weight buffer; weighted lists the entries to zero next round.
+	succ     [][]int
+	weight   []int64
+	weighted []int
+
+	// Running total power (the livePower quantity) maintained per refresh
+	// from per-gate contributions, instead of an O(gates) rescan per
+	// observer round event.
+	powerTotal float64
+	contrib    []float64
+
+	// Scratch buffers (steady-state allocation-free).
+	drainBuf  []netlist.Signal
+	cands     []candidate
+	coneSeen  netlist.BitSet
+	covered   netlist.BitSet
+	coneBuf   []int
+	coneStack []int
+	chosen    []int
+	sorted    []candidate
+
+	// Bypass worklist state: pairIndex maps gate*maxPins+pin to 1+index into
+	// pairs while a bypass call is active.
+	pairs     []bypassPair
+	pairIndex []int32
+	lcs       []int
+}
+
+// bypassPair is one (low-voltage gate, LC-driven pin) bypass opportunity.
+type bypassPair struct {
+	gate, pin int
+	dirty     bool // eligibility inputs changed since the last check
+	done      bool // rewired (or structurally gone)
+}
+
+// newDscaleState builds the working set from the post-CVS circuit: full
+// candidate invalidation (round one evaluates every gate, like the rescan
+// loop did), the complete succ adjacency, and the initial power total summed
+// in gate order — the same order livePower uses.
+func newDscaleState(ckt *netlist.Circuit, lib *cell.Library, inc *sta.Incremental,
+	opts *Options, act []float64) *dscaleState {
+	st := &dscaleState{ckt: ckt, lib: lib, inc: inc, opts: opts, act: act}
+	st.grow()
+	fan := inc.Fanouts()
+	for gi, g := range ckt.Gates {
+		if g.Dead {
+			continue
+		}
+		for _, cn := range fan.Conns[ckt.GateSignal(gi)] {
+			st.succ[gi] = append(st.succ[gi], cn.Gate)
+		}
+		st.contrib[gi] = st.gateContrib(gi)
+		st.powerTotal += st.contrib[gi]
+	}
+	// CVS ran on the same engine; its changes are already reflected in the
+	// freshly built state, so discard the journal backlog.
+	st.drainBuf = inc.DrainChanged(st.drainBuf[:0])
+	st.drainBuf = st.drainBuf[:0]
+	return st
+}
+
+// grow extends the per-gate tables after level-converter insertions.
+func (st *dscaleState) grow() {
+	n := len(st.ckt.Gates)
+	for len(st.candValid) < n {
+		st.candValid = append(st.candValid, false)
+		st.candOK = append(st.candOK, false)
+		st.cand = append(st.cand, candidate{})
+		st.succ = append(st.succ, nil)
+		st.weight = append(st.weight, 0)
+		st.contrib = append(st.contrib, 0)
+	}
+}
+
+// gateContrib is gate gi's share of the livePower total under the current
+// annotation: switching power of its output net plus internal power, plus the
+// converter static power for LCs. Dead gates contribute nothing.
+func (st *dscaleState) gateContrib(gi int) float64 {
+	g := st.ckt.Gates[gi]
+	if g.Dead {
+		return 0
+	}
+	out := st.ckt.GateSignal(gi)
+	vdd := st.lib.VddOf(g.Volt)
+	c := power.Switch(st.act[out], st.opts.Fclk, st.inc.Load[out]+g.Cell.InternalCap, vdd)
+	if g.IsLC {
+		c += st.lib.LCStaticPower
+	}
+	return c
+}
+
+// refreshGate re-derives everything keyed on gate gi: candidate cache entry
+// (invalidated, re-evaluated lazily), succ adjacency and power contribution.
+func (st *dscaleState) refreshGate(gi int) {
+	st.candValid[gi] = false
+	g := st.ckt.Gates[gi]
+	st.succ[gi] = st.succ[gi][:0]
+	if !g.Dead {
+		for _, cn := range st.inc.Fanouts().Conns[st.ckt.GateSignal(gi)] {
+			st.succ[gi] = append(st.succ[gi], cn.Gate)
+		}
+	}
+	if nc := st.gateContrib(gi); nc != st.contrib[gi] {
+		st.powerTotal += nc - st.contrib[gi]
+		st.contrib[gi] = nc
+	}
+}
+
+// absorb drains the engine's change journal and refreshes the state of every
+// gate the changes can influence: the driver of each changed signal (its
+// slack, load, consumer set or attributes moved) and the signal's consumers
+// (their fanin arrivals moved). The drained buffer is kept for callers that
+// layer further invalidation on it (the bypass worklist).
+func (st *dscaleState) absorb() {
+	st.drainBuf = st.inc.DrainChanged(st.drainBuf[:0])
+	st.grow()
+	fan := st.inc.Fanouts()
+	nSig := st.ckt.NumSignals()
+	for _, s := range st.drainBuf {
+		if int(s) >= nSig {
+			continue // signal rolled back out of existence
+		}
+		if gi := st.ckt.GateIndex(s); gi >= 0 {
+			st.refreshGate(gi)
+		}
+		for _, cn := range fan.Conns[s] {
+			st.candValid[cn.Gate] = false
+		}
+	}
+}
+
+// reeval recomputes gate gi's candidate decision, mirroring the filter chain
+// of the original per-round rescan exactly: eligibility, fanout, SlkSet
+// membership, positive gain, and the conservative timing check.
+func (st *dscaleState) reeval(gi int) {
+	st.candEvals++
+	st.candValid[gi] = true
+	st.candOK[gi] = false
+	g := st.ckt.Gates[gi]
+	if g.Dead || g.IsLC || g.Volt == cell.VLow {
+		return
+	}
+	out := st.ckt.GateSignal(gi)
+	if st.inc.Fanouts().Degree(out) == 0 {
+		return
+	}
+	if st.inc.Slack[out] <= st.opts.Eps {
+		return // not in SlkSet
+	}
+	c, ok := evalCandidate(st.ckt, st.lib, st.inc, st.act, st.opts.Fclk, gi)
+	if !ok || c.gain <= 0 {
+		return
+	}
+	if st.inc.Slack[out]-(c.deltaArr+c.lcDelay) < st.opts.Eps {
+		return
+	}
+	st.cand[gi] = c
+	st.candOK[gi] = true
+}
+
+// gather returns the round's candSet in gate order, re-evaluating only the
+// invalidated cache entries.
+func (st *dscaleState) gather() []candidate {
+	st.cands = st.cands[:0]
+	for gi := range st.ckt.Gates {
+		if !st.candValid[gi] {
+			st.reeval(gi)
+		}
+		if st.candOK[gi] {
+			st.cands = append(st.cands, st.cand[gi])
+		}
+	}
+	return st.cands
+}
+
+// verify cross-checks every maintained structure against a from-scratch
+// rebuild — the dirty-set differential oracle, enabled by Options.SelfCheck.
+func (st *dscaleState) verify() error {
+	ce := st.candEvals // oracle re-evaluations must not skew the metric
+	defer func() { st.candEvals = ce }()
+	fan := st.inc.Fanouts()
+	total := 0.0
+	for gi, g := range st.ckt.Gates {
+		// succ must equal a fresh consumer-table walk, element for element
+		// (MWIS arc construction is order-sensitive).
+		var fresh []int
+		if !g.Dead {
+			for _, cn := range fan.Conns[st.ckt.GateSignal(gi)] {
+				fresh = append(fresh, cn.Gate)
+			}
+		}
+		if !slices.Equal(fresh, st.succ[gi]) {
+			return fmt.Errorf("core: Dscale succ[%d] stale: %v vs fresh %v", gi, st.succ[gi], fresh)
+		}
+		total += st.gateContrib(gi)
+		// A valid cache entry must match a fresh evaluation bit for bit.
+		if !st.candValid[gi] {
+			continue
+		}
+		wasOK, was := st.candOK[gi], st.cand[gi]
+		st.reeval(gi)
+		if wasOK != st.candOK[gi] || (wasOK && was != st.cand[gi]) {
+			return fmt.Errorf("core: Dscale candidate cache stale at gate %d (%s): %+v/%v vs fresh %+v/%v",
+				gi, g.Name, was, wasOK, st.cand[gi], st.candOK[gi])
+		}
+	}
+	// The running power total accumulates float rounding relative to a fresh
+	// gate-order sum; it must stay within noise of it.
+	if diff := st.powerTotal - total; diff > 1e-9*total || diff < -1e-9*total {
+		return fmt.Errorf("core: Dscale running power %.15g drifted from fresh sum %.15g", st.powerTotal, total)
+	}
+	return nil
+}
+
 // Dscale runs the paper's §2 algorithm on a mapped circuit: CVS first, then
 // repeated rounds of slack harvesting. Each round gathers every high-voltage
 // gate whose slack covers the Vlow (plus level-converter) delay penalty and
@@ -96,6 +342,12 @@ func evalCandidate(ckt *netlist.Circuit, lib *cell.Library, inc *sta.Incremental
 // never accumulate along one path — applies Vlow, inserts level converters
 // at low→high boundaries, and re-times incrementally. It stops when candSet
 // is empty.
+//
+// Candidates are maintained incrementally: a round re-evaluates only gates
+// whose timing, load, consumer set or neighborhood changed since the last
+// round (per the engine's change journal), which drops per-round evaluation
+// work from live-gates to the size of the disturbed region while producing
+// the exact decisions of a full rescan.
 func Dscale(ckt *netlist.Circuit, lib *cell.Library, opts Options) (*Result, error) {
 	areaBefore := ckt.Area()
 	inc, err := sta.NewIncremental(ckt, lib, opts.Tspec)
@@ -109,43 +361,29 @@ func Dscale(ckt *netlist.Circuit, lib *cell.Library, opts Options) (*Result, err
 	// never change them, and the level converters inserted below are buffers
 	// whose output toggles exactly like their source. One simulation serves
 	// the whole run; LC activities are aliased on insertion.
-	simRes, err := sim.Run(ckt, opts.SimWords, opts.Seed)
+	simStart := time.Now()
+	simRes, err := sim.RunParallel(ckt, opts.SimWords, opts.Seed, opts.SimWorkers)
 	if err != nil {
 		return nil, err
 	}
-	act := simRes.Act
+	simTime := time.Since(simStart)
+	st := newDscaleState(ckt, lib, inc, &opts, simRes.Act)
 	res := &Result{}
 	for {
 		if err := opts.interrupted(); err != nil {
 			return nil, err
 		}
-		if err := selfCheck(inc, opts); err != nil {
-			return nil, err
+		if opts.SelfCheck {
+			if err := inc.Check(1e-9); err != nil {
+				return nil, err
+			}
+			if err := st.verify(); err != nil {
+				return nil, err
+			}
 		}
-		fan := inc.Fanouts()
 
-		// getSlkSet + check_timing + weight_with_power_gain.
-		var cands []candidate
-		for gi, g := range ckt.Gates {
-			if g.Dead || g.IsLC || g.Volt == cell.VLow {
-				continue
-			}
-			out := ckt.GateSignal(gi)
-			if fan.Degree(out) == 0 {
-				continue
-			}
-			if inc.Slack[out] <= opts.Eps {
-				continue // not in SlkSet
-			}
-			c, ok := evalCandidate(ckt, lib, inc, act, opts.Fclk, gi)
-			if !ok || c.gain <= 0 {
-				continue
-			}
-			if inc.Slack[out]-(c.deltaArr+c.lcDelay) < opts.Eps {
-				continue
-			}
-			cands = append(cands, c)
-		}
+		// getSlkSet + check_timing + weight_with_power_gain, from the cache.
+		cands := st.gather()
 		if len(cands) == 0 {
 			break
 		}
@@ -155,41 +393,37 @@ func Dscale(ckt *netlist.Circuit, lib *cell.Library, opts Options) (*Result, err
 			// Ablation: greedy highest-gain-first, restricted to a mutually
 			// path-independent set so the per-candidate timing checks stay
 			// valid (checked via reachability, no optimality guarantee).
-			lowSet = greedyIndependent(ckt, fan, cands)
+			lowSet = st.greedyIndependent(cands)
 		} else {
 			// MWIS over the gate-level DAG: node weights are the power
 			// gains, edges are the circuit's driver→consumer relation, so
 			// independence means "no two selected gates on a common path".
-			nGates := len(ckt.Gates)
-			weight := make([]int64, nGates)
+			// The adjacency is maintained across rounds; only the weights
+			// are re-stamped.
+			for _, gi := range st.weighted {
+				st.weight[gi] = 0
+			}
+			st.weighted = st.weighted[:0]
 			for _, c := range cands {
-				weight[c.gate] = int64(c.gain * weightScale)
-				if weight[c.gate] <= 0 {
-					weight[c.gate] = 1
+				w := int64(c.gain * weightScale)
+				if w <= 0 {
+					w = 1
 				}
+				st.weight[c.gate] = w
+				st.weighted = append(st.weighted, c.gate)
 			}
-			succ := make([][]int, nGates)
-			for gi, g := range ckt.Gates {
-				if g.Dead {
-					continue
-				}
-				for _, cn := range fan.Conns[ckt.GateSignal(gi)] {
-					succ[gi] = append(succ[gi], cn.Gate)
-				}
-			}
-			lowSet, _ = graph.MaxWeightAntichain(nGates, succ, weight)
+			lowSet, _ = graph.MaxWeightAntichain(len(ckt.Gates), st.succ, st.weight)
 		}
 		if len(lowSet) == 0 {
 			break
 		}
 		for _, gi := range lowSet {
-			act, err = applyLow(ckt, lib, inc, act, gi)
-			if err != nil {
+			if err := st.applyLow(gi); err != nil {
 				return nil, err
 			}
 			opts.emit(Event{Algorithm: "Dscale", Kind: EventMove, Round: res.Iterations + 1, Gate: gi})
 		}
-		bypassRedundantLCs(ckt, lib, inc, opts)
+		st.bypassRedundantLCs()
 		inc.Commit() // moves are final; cap journal growth
 		res.Iterations++
 
@@ -202,7 +436,7 @@ func Dscale(ckt *netlist.Circuit, lib *cell.Library, opts Options) (*Result, err
 			opts.emit(Event{
 				Algorithm: "Dscale", Kind: EventRound, Round: res.Iterations,
 				Moves: len(lowSet), LowGates: ckt.NumLowGates(),
-				Power:    livePower(ckt, lib, inc, act, opts.Fclk),
+				Power:    st.powerTotal,
 				STAEvals: inc.Evals(), WorstArrival: inc.WorstArrival(),
 			})
 		}
@@ -211,13 +445,16 @@ func Dscale(ckt *netlist.Circuit, lib *cell.Library, opts Options) (*Result, err
 	res.LCs = ckt.NumLCs()
 	res.AreaIncrease = ckt.Area()/areaBefore - 1
 	res.STAEvals = inc.Evals()
+	res.CandEvals = st.candEvals
+	res.SimTime = simTime
 	return res, nil
 }
 
 // livePower sums the current total power (switching + internal + LC static)
 // from the engine's live load annotation and the run's activity table — the
-// same quantity power.Estimate reports, without rebuilding fanouts. Only used
-// to enrich progress events; the tables re-measure through power.Estimate.
+// same quantity power.Estimate reports, without rebuilding fanouts. The loop
+// maintains it as a running total (dscaleState.powerTotal); this full sum
+// remains as the oracle verify() compares against.
 func livePower(ckt *netlist.Circuit, lib *cell.Library, inc *sta.Incremental, act []float64, fclk float64) float64 {
 	total := 0.0
 	for gi, g := range ckt.Gates {
@@ -234,22 +471,36 @@ func livePower(ckt *netlist.Circuit, lib *cell.Library, inc *sta.Incremental, ac
 	return total
 }
 
-// greedyIndependent picks candidates highest-gain-first, discarding any that
-// shares a path with an earlier pick. Used only by the GreedySelect ablation.
-func greedyIndependent(ckt *netlist.Circuit, fan *netlist.Fanouts, cands []candidate) []int {
-	sorted := append([]candidate(nil), cands...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].gain > sorted[j].gain })
-	chosen := make(map[int]bool)
-	covered := make(map[int]bool) // gates on a path with some chosen gate
-	var out []int
-	for _, c := range sorted {
-		if covered[c.gate] || chosen[c.gate] {
-			continue
+// greedyIndependent picks candidates highest-gain-first (ties broken by gate
+// index, so the order is total), discarding any that shares a path with an
+// earlier pick. Conflict tracking uses reusable bitsets over the gate space
+// instead of per-call maps. Used only by the GreedySelect ablation.
+func (st *dscaleState) greedyIndependent(cands []candidate) []int {
+	st.sorted = append(st.sorted[:0], cands...)
+	slices.SortFunc(st.sorted, func(a, b candidate) int {
+		switch {
+		case a.gain > b.gain:
+			return -1
+		case a.gain < b.gain:
+			return 1
 		}
-		down := fan.FanoutCone(ckt, c.gate)
+		return a.gate - b.gate
+	})
+	n := len(st.ckt.Gates)
+	st.covered.Grow(n)
+	st.covered.Reset()
+	st.coneSeen.Grow(n)
+	st.chosen = st.chosen[:0]
+	fan := st.inc.Fanouts()
+	for _, c := range st.sorted {
+		if st.covered.Has(c.gate) {
+			continue // on a path below some chosen gate (or chosen itself)
+		}
+		st.coneSeen.Reset()
+		st.coneBuf, st.coneStack = fan.AppendFanoutCone(st.ckt, c.gate, &st.coneSeen, st.coneBuf[:0], st.coneStack)
 		conflict := false
-		for g := range chosen {
-			if down[g] {
+		for _, g := range st.chosen {
+			if st.coneSeen.Has(g) {
 				conflict = true
 				break
 			}
@@ -257,25 +508,27 @@ func greedyIndependent(ckt *netlist.Circuit, fan *netlist.Fanouts, cands []candi
 		if conflict {
 			continue
 		}
-		chosen[c.gate] = true
-		out = append(out, c.gate)
-		for g := range down {
-			covered[g] = true
+		st.chosen = append(st.chosen, c.gate)
+		for _, g := range st.coneBuf {
+			st.covered.Set(g)
 		}
 	}
-	sort.Ints(out)
+	out := append([]int(nil), st.chosen...)
+	slices.Sort(out)
 	return out
 }
 
 // applyLow moves gate gi to Vlow and inserts a level converter in front of
 // its high-voltage consumers ("insert necessary level restoration circuits"),
 // re-timing incrementally through the engine. One converter per net is shared
-// by all high consumers. It returns the activity table, extended with the
-// converter's (aliased) activity when one was inserted.
-func applyLow(ckt *netlist.Circuit, lib *cell.Library, inc *sta.Incremental, act []float64, gi int) ([]float64, error) {
+// by all high consumers. The activity table gains the converter's (aliased)
+// activity, and the state absorbs the change journal so the touched region is
+// re-evaluated next round.
+func (st *dscaleState) applyLow(gi int) error {
+	ckt, lib, inc := st.ckt, st.lib, st.inc
 	g := ckt.Gates[gi]
 	if g.Volt == cell.VLow {
-		return act, fmt.Errorf("core: gate %s already low", g.Name)
+		return fmt.Errorf("core: gate %s already low", g.Name)
 	}
 	out := ckt.GateSignal(gi)
 	var highConns []netlist.Conn
@@ -286,18 +539,20 @@ func applyLow(ckt *netlist.Circuit, lib *cell.Library, inc *sta.Incremental, act
 	}
 	inc.SetVolt(gi, cell.VLow)
 	if len(highConns) == 0 {
-		return act, nil
+		st.absorb()
+		return nil
 	}
 	_, lcSig := inc.AddGate(fmt.Sprintf("$lc_%s", g.Name), lib.LevelConverter(), out)
 	lcGate := ckt.GateOf(lcSig)
 	lcGate.IsLC = true
-	act = append(act, act[out]) // the converter toggles with its source
+	st.act = append(st.act, st.act[out]) // the converter toggles with its source
 	for _, cn := range highConns {
 		if err := inc.RewirePin(cn.Gate, cn.Pin, lcSig); err != nil {
-			return act, err
+			return err
 		}
 	}
-	return act, nil
+	st.absorb()
+	return nil
 }
 
 // bypassRedundantLCs reconnects low-voltage gates that are fed through a
@@ -306,52 +561,168 @@ func applyLow(ckt *netlist.Circuit, lib *cell.Library, inc *sta.Incremental, act
 // consumers. Each bypass is accepted only if the source net's slack absorbs
 // its load change, so timing stays safe; the engine re-times each rewire in
 // cone-local work.
-func bypassRedundantLCs(ckt *netlist.Circuit, lib *cell.Library, inc *sta.Incremental, opts Options) {
-	for {
-		changed := false
-	scan:
-		for gIdx, g := range ckt.Gates {
-			if g.Dead || g.Volt != cell.VLow || g.IsLC {
+//
+// The candidate (gate, pin) pairs are collected once and then processed as a
+// worklist: a pair whose eligibility check fails stays parked until the nets
+// its check reads are touched by a later rewire or converter removal (tracked
+// through the change journal), instead of being rescanned with the whole
+// gate list after every accepted rewire. The accepted-rewire order — always
+// the lowest (gate, pin) pair that passes, one rewire per sweep, converters
+// collected between rewires in gate order — is exactly the order of the
+// original restart-the-scan loop, so the resulting circuits are identical.
+func (st *dscaleState) bypassRedundantLCs() {
+	ckt, inc := st.ckt, st.inc
+	fan := inc.Fanouts()
+
+	// Seed the worklist: every LC-driven pin of a live low-voltage gate, in
+	// (gate, pin) order, plus the live converters for the removal sweeps.
+	// Rewires only ever detach pins from converters, so no new pairs (and no
+	// new converters) can appear while the worklist drains.
+	st.pairs = st.pairs[:0]
+	st.lcs = st.lcs[:0]
+	if need := len(ckt.Gates) * maxPins; cap(st.pairIndex) < need {
+		st.pairIndex = make([]int32, need)
+	} else {
+		st.pairIndex = st.pairIndex[:need]
+		for i := range st.pairIndex {
+			st.pairIndex[i] = 0
+		}
+	}
+	for gIdx, g := range ckt.Gates {
+		if g.Dead {
+			continue
+		}
+		if g.IsLC {
+			st.lcs = append(st.lcs, gIdx)
+			continue
+		}
+		if g.Volt != cell.VLow {
+			continue
+		}
+		if len(g.In) > maxPins {
+			// The pair keys below alias across gates beyond maxPins pins;
+			// the library has no such cell (sim.Compile enforces the same
+			// bound on its tape).
+			panic(fmt.Sprintf("core: gate %s has %d pins, bypass worklist limit is %d", g.Name, len(g.In), maxPins))
+		}
+		for pin, s := range g.In {
+			drv := ckt.GateOf(s)
+			if drv == nil || !drv.IsLC || drv.Dead {
 				continue
 			}
-			for pin, s := range g.In {
-				drv := ckt.GateOf(s)
-				if drv == nil || !drv.IsLC || drv.Dead {
-					continue
-				}
-				src := drv.In[0]
-				srcGate := ckt.GateOf(src)
-				if srcGate == nil {
-					continue
-				}
-				// Load change on the source net: it gains this consumer pin
-				// (the converter stays until it loses every consumer).
-				dLoad := g.Cell.InputCap[pin] + lib.WireCapPerFanout
-				srcGi := ckt.GateIndex(src)
-				newArr := inc.GateArrivalWithCell(srcGi, srcGate.Cell, dLoad)
-				if newArr-inc.Arrival[src] >= inc.Slack[src]-opts.Eps {
-					continue
-				}
-				if err := inc.RewirePin(gIdx, pin, src); err != nil {
-					continue
-				}
-				changed = true
-				// One rewire at a time: loads moved, so the engine's fresh
-				// state must back the next decision.
-				break scan
-			}
+			st.pairs = append(st.pairs, bypassPair{gate: gIdx, pin: pin, dirty: true})
+			st.pairIndex[gIdx*maxPins+pin] = int32(len(st.pairs))
 		}
-		// Remove converters nobody listens to anymore.
-		fan := inc.Fanouts()
-		for gi, g := range ckt.Gates {
+	}
+
+	for {
+		changed := false
+		// Scan sweep: apply the first eligible pending pair.
+		for i := range st.pairs {
+			pr := &st.pairs[i]
+			if pr.done || !pr.dirty {
+				continue
+			}
+			if !st.tryBypass(pr.gate, pr.pin) {
+				pr.dirty = false
+				continue
+			}
+			pr.done = true
+			st.absorbBypass()
+			changed = true
+			// One rewire at a time: loads moved, so the engine's fresh
+			// state must back the next decision.
+			break
+		}
+		// Removal sweep, in gate order: converters nobody listens to anymore.
+		for _, gi := range st.lcs {
+			g := ckt.Gates[gi]
 			if !g.Dead && g.IsLC && fan.Degree(ckt.GateSignal(gi)) == 0 {
 				if err := inc.KillGate(gi); err == nil {
+					st.absorbBypass()
 					changed = true
 				}
 			}
 		}
 		if !changed {
 			return
+		}
+	}
+}
+
+// tryBypass checks one pair's eligibility against the live annotation and
+// applies the rewire when it passes. The checks mirror the original scan.
+func (st *dscaleState) tryBypass(gIdx, pin int) bool {
+	ckt, lib, inc := st.ckt, st.lib, st.inc
+	g := ckt.Gates[gIdx]
+	if g.Dead || g.Volt != cell.VLow || g.IsLC {
+		return false
+	}
+	drv := ckt.GateOf(g.In[pin])
+	if drv == nil || !drv.IsLC || drv.Dead {
+		return false
+	}
+	src := drv.In[0]
+	srcGate := ckt.GateOf(src)
+	if srcGate == nil {
+		return false
+	}
+	// Load change on the source net: it gains this consumer pin (the
+	// converter stays until it loses every consumer).
+	dLoad := g.Cell.InputCap[pin] + lib.WireCapPerFanout
+	srcGi := ckt.GateIndex(src)
+	newArr := inc.GateArrivalWithCell(srcGi, srcGate.Cell, dLoad)
+	if newArr-inc.Arrival[src] >= inc.Slack[src]-st.opts.Eps {
+		return false
+	}
+	return inc.RewirePin(gIdx, pin, src) == nil
+}
+
+// markPair re-arms a parked pair whose eligibility inputs were touched.
+func (st *dscaleState) markPair(gIdx, pin int) {
+	if pi := st.pairIndex[gIdx*maxPins+pin]; pi > 0 {
+		st.pairs[pi-1].dirty = true
+	}
+}
+
+// touchBypassNet re-arms every pair whose check reads net x: pairs whose pin
+// hangs off x when x is a converter output, and — when x feeds converters —
+// the pairs hanging off those converters (x is their source net, whose
+// slack, arrival and load the check consumes).
+func (st *dscaleState) touchBypassNet(x netlist.Signal) {
+	ckt := st.ckt
+	fan := st.inc.Fanouts()
+	if d := ckt.GateOf(x); d != nil && d.IsLC && !d.Dead {
+		for _, cn := range fan.Conns[x] {
+			st.markPair(cn.Gate, cn.Pin)
+		}
+	}
+	for _, cn := range fan.Conns[x] {
+		c := ckt.Gates[cn.Gate]
+		if !c.IsLC || c.Dead {
+			continue
+		}
+		for _, cn2 := range fan.Conns[ckt.GateSignal(cn.Gate)] {
+			st.markPair(cn2.Gate, cn2.Pin)
+		}
+	}
+}
+
+// absorbBypass is absorb plus pair re-arming: for every changed signal s, the
+// pairs reading s directly (as source or converter net) and the pairs whose
+// source gate consumes s (their hypothetical arrival reads s through the
+// source gate's fanin) are marked dirty.
+func (st *dscaleState) absorbBypass() {
+	st.absorb()
+	fan := st.inc.Fanouts()
+	nSig := st.ckt.NumSignals()
+	for _, s := range st.drainBuf {
+		if int(s) >= nSig {
+			continue
+		}
+		st.touchBypassNet(s)
+		for _, cn := range fan.Conns[s] {
+			st.touchBypassNet(st.ckt.GateSignal(cn.Gate))
 		}
 	}
 }

@@ -20,6 +20,7 @@ package core
 
 import (
 	"context"
+	"time"
 
 	"dualvdd/internal/cell"
 	"dualvdd/internal/netlist"
@@ -43,6 +44,11 @@ type Options struct {
 	// SimWords is the number of 64-vector words used for activity
 	// estimation when weighting Dscale candidates.
 	SimWords int
+	// SimWorkers bounds the word-parallel workers of the compiled logic
+	// simulation; 0 means GOMAXPROCS. The worker count never changes any
+	// simulated statistic (integer reductions in fixed order), only the
+	// wall clock.
+	SimWorkers int
 	// Seed drives the random-vector simulation.
 	Seed uint64
 	// Fclk is the clock frequency for power weighting (20 MHz in the paper).
@@ -161,6 +167,15 @@ type Result struct {
 	// engine over the whole run — the cost a full re-analysis per move would
 	// multiply by the circuit size.
 	STAEvals int64
+	// CandEvals counts Dscale candidate-cache re-evaluations (cache
+	// misses): gates visited because their timing, loads or neighborhood
+	// changed. A full per-round rescan pays live-gates × (Iterations+1)
+	// such visits; under the incremental cache, rounds after the first
+	// touch only the disturbed region.
+	CandEvals int64
+	// SimTime is the wall clock the run spent in logic simulation (Dscale's
+	// activity estimation; zero for the sim-free algorithms).
+	SimTime time.Duration
 }
 
 // lowEligible reports whether gate gi may legally take Vlow under the

@@ -21,7 +21,7 @@ var determinismSuite = []string{"z4ml", "mux", "x2", "pm1", "b9", "sct"}
 // between runs.
 func stripTimes(rows []report.Row) {
 	for i := range rows {
-		rows[i].CPUSec, rows[i].CVSSec, rows[i].DscaleSec = 0, 0, 0
+		rows[i].CPUSec, rows[i].CVSSec, rows[i].DscaleSec, rows[i].SimSec = 0, 0, 0, 0
 	}
 }
 
@@ -49,16 +49,25 @@ func TestBatchDeterminismAcrossWorkers(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	for _, workers := range []int{4, runtime.GOMAXPROCS(0)} {
-		rows, err := RunAllContext(ctx, cfg, Options{Circuits: determinismSuite, Workers: workers})
+	// Sweep both axes of parallelism: the Batch pool (workers) and the
+	// compiled simulation's word-parallel workers (simWorkers). Every
+	// combination must reproduce the serial rows and the rendered tables
+	// byte for byte — the sim workers reduce integer statistics in fixed
+	// order, so their count can never leak into a result.
+	for _, combo := range []struct{ workers, simWorkers int }{
+		{4, 0}, {runtime.GOMAXPROCS(0), 0}, {1, 2}, {1, 5}, {2, 3},
+	} {
+		cfg := cfg
+		cfg.SimWorkers = combo.simWorkers
+		rows, err := RunAllContext(ctx, cfg, Options{Circuits: determinismSuite, Workers: combo.workers})
 		if err != nil {
 			t.Fatal(err)
 		}
 		stripTimes(rows)
 		for i := range serial {
 			if rows[i] != serial[i] {
-				t.Fatalf("workers=%d: row %d diverged from serial run:\n%+v\n%+v",
-					workers, i, rows[i], serial[i])
+				t.Fatalf("workers=%d simWorkers=%d: row %d diverged from serial run:\n%+v\n%+v",
+					combo.workers, combo.simWorkers, i, rows[i], serial[i])
 			}
 		}
 		var gotT1, gotT2 bytes.Buffer
@@ -69,7 +78,8 @@ func TestBatchDeterminismAcrossWorkers(t *testing.T) {
 			t.Fatal(err)
 		}
 		if !bytes.Equal(gotT1.Bytes(), wantT1.Bytes()) || !bytes.Equal(gotT2.Bytes(), wantT2.Bytes()) {
-			t.Fatalf("workers=%d: rendered tables differ from the serial rendering", workers)
+			t.Fatalf("workers=%d simWorkers=%d: rendered tables differ from the serial rendering",
+				combo.workers, combo.simWorkers)
 		}
 	}
 }

@@ -67,26 +67,28 @@ func RunDesignContext(ctx context.Context, d *dualvdd.Design) (report.Row, error
 		return report.Row{}, err
 	}
 	return report.Row{
-		Name:        d.Name,
-		OrgPwrUW:    d.OrgPower * 1e6,
-		CVSPct:      cvs.ImprovePct,
-		DscalePct:   ds.ImprovePct,
-		GscalePct:   gs.ImprovePct,
-		CPUSec:      gs.Runtime.Seconds(),
-		CVSSec:      cvs.Runtime.Seconds(),
-		DscaleSec:   ds.Runtime.Seconds(),
-		DscaleEvals: ds.STAEvals,
-		GscaleEvals: gs.STAEvals,
-		OrgGates:    cvs.Gates,
-		CVSLow:      cvs.LowGates,
-		CVSRatio:    cvs.LowRatio,
-		DscaleLow:   ds.LowGates,
-		DscaleRatio: ds.LowRatio,
-		GscaleLow:   gs.LowGates,
-		GscRatio:    gs.LowRatio,
-		Sized:       gs.Sized,
-		AreaInc:     gs.AreaIncrease,
-		DscaleLCs:   ds.LCs,
+		Name:            d.Name,
+		OrgPwrUW:        d.OrgPower * 1e6,
+		CVSPct:          cvs.ImprovePct,
+		DscalePct:       ds.ImprovePct,
+		GscalePct:       gs.ImprovePct,
+		CPUSec:          gs.Runtime.Seconds(),
+		CVSSec:          cvs.Runtime.Seconds(),
+		DscaleSec:       ds.Runtime.Seconds(),
+		SimSec:          (cvs.SimTime + ds.SimTime + gs.SimTime).Seconds(),
+		DscaleEvals:     ds.STAEvals,
+		GscaleEvals:     gs.STAEvals,
+		DscaleCandEvals: ds.CandEvals,
+		OrgGates:        cvs.Gates,
+		CVSLow:          cvs.LowGates,
+		CVSRatio:        cvs.LowRatio,
+		DscaleLow:       ds.LowGates,
+		DscaleRatio:     ds.LowRatio,
+		GscaleLow:       gs.LowGates,
+		GscRatio:        gs.LowRatio,
+		Sized:           gs.Sized,
+		AreaInc:         gs.AreaIncrease,
+		DscaleLCs:       ds.LCs,
 	}, nil
 }
 

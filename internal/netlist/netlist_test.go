@@ -350,3 +350,41 @@ func TestFanoutCone(t *testing.T) {
 		t.Fatalf("fanout cone of g0 = %v", down)
 	}
 }
+
+func TestAppendFanoutConeMatchesMapVersion(t *testing.T) {
+	c := New("cone")
+	cl := &cell.Cell{Name: "inv", Function: cell.FINV, InputCap: []float64{0.01}}
+	a := c.AddPI("a")
+	// Diamond with a tail: a -> g0 -> {g1, g2} -> g3 -> g4.
+	_, s0 := c.AddGate("g0", cl, a)
+	_, s1 := c.AddGate("g1", cl, s0)
+	_, s2 := c.AddGate("g2", cl, s0)
+	g3cl := &cell.Cell{Name: "nd2", Function: cell.FNAND2, InputCap: []float64{0.01, 0.01}}
+	_, s3 := c.AddGate("g3", g3cl, s1, s2)
+	_, s4 := c.AddGate("g4", cl, s3)
+	c.AddPO("o", s4)
+	fan := c.BuildFanouts()
+
+	var seen BitSet
+	var out, stack []int
+	for gi := range c.Gates {
+		want := fan.FanoutCone(c, gi)
+		seen.Grow(len(c.Gates))
+		seen.Reset()
+		out, stack = fan.AppendFanoutCone(c, gi, &seen, out[:0], stack)
+		if len(out) != len(want) {
+			t.Fatalf("gate %d: cone size %d, map version %d", gi, len(out), len(want))
+		}
+		for _, g := range out {
+			if !want[g] {
+				t.Fatalf("gate %d: cone gained gate %d", gi, g)
+			}
+			if !seen.Has(g) {
+				t.Fatalf("gate %d: bitset missing cone member %d", gi, g)
+			}
+		}
+	}
+	if seen.Has(1 << 20) {
+		t.Fatal("out-of-capacity index reads true")
+	}
+}

@@ -73,9 +73,16 @@ func Estimate(c *netlist.Circuit, lib *cell.Library, act []float64, fclk float64
 }
 
 // EstimateRandom is the one-call flow the evaluation uses: simulate words×64
-// random vectors with the given seed, then estimate power at fclk.
+// random vectors with the given seed, then estimate power at fclk. The
+// simulation runs on the compiled engine with the default worker count.
 func EstimateRandom(c *netlist.Circuit, lib *cell.Library, words int, seed uint64, fclk float64) (*Breakdown, *sim.Result, error) {
-	r, err := sim.Run(c, words, seed)
+	return EstimateRandomParallel(c, lib, words, seed, fclk, 0)
+}
+
+// EstimateRandomParallel is EstimateRandom with an explicit simulation worker
+// count (0 means GOMAXPROCS); the result is identical at any setting.
+func EstimateRandomParallel(c *netlist.Circuit, lib *cell.Library, words int, seed uint64, fclk float64, workers int) (*Breakdown, *sim.Result, error) {
+	r, err := sim.RunParallel(c, words, seed, workers)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,99 @@
+package report
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+)
+
+// BenchSnapshot is the machine-readable performance snapshot cmd/tables
+// -bench-json emits (e.g. BENCH_PR3.json): per-circuit wall clocks and work
+// counters alongside the quality numbers, so successive PRs have a recorded
+// trajectory to compare against. Timings are wall clock and vary run to run;
+// the counters and quality columns are deterministic.
+type BenchSnapshot struct {
+	Schema   string         `json:"schema"`
+	Go       string         `json:"go"`
+	MaxProcs int            `json:"gomaxprocs"`
+	Circuits []BenchCircuit `json:"circuits"`
+	Totals   BenchTotals    `json:"totals"`
+}
+
+// BenchCircuit is one circuit's row of the snapshot.
+type BenchCircuit struct {
+	Name     string  `json:"name"`
+	Gates    int     `json:"gates"`
+	OrgPwrUW float64 `json:"org_pwr_uw"`
+	// Quality (deterministic).
+	CVSPct    float64 `json:"cvs_pct"`
+	DscalePct float64 `json:"dscale_pct"`
+	GscalePct float64 `json:"gscale_pct"`
+	// Wall clocks in milliseconds (vary run to run).
+	CVSMs    float64 `json:"cvs_ms"`
+	DscaleMs float64 `json:"dscale_ms"`
+	GscaleMs float64 `json:"gscale_ms"`
+	SimMs    float64 `json:"sim_ms"`
+	// Work counters (deterministic).
+	DscaleSTAEvals  int64 `json:"dscale_sta_evals"`
+	GscaleSTAEvals  int64 `json:"gscale_sta_evals"`
+	DscaleCandEvals int64 `json:"dscale_cand_evals"`
+}
+
+// BenchTotals sums the snapshot columns across circuits.
+type BenchTotals struct {
+	Circuits        int     `json:"circuits"`
+	CVSMs           float64 `json:"cvs_ms"`
+	DscaleMs        float64 `json:"dscale_ms"`
+	GscaleMs        float64 `json:"gscale_ms"`
+	SimMs           float64 `json:"sim_ms"`
+	DscaleSTAEvals  int64   `json:"dscale_sta_evals"`
+	GscaleSTAEvals  int64   `json:"gscale_sta_evals"`
+	DscaleCandEvals int64   `json:"dscale_cand_evals"`
+}
+
+// Snapshot assembles a BenchSnapshot from measured rows.
+func Snapshot(rows []Row) BenchSnapshot {
+	snap := BenchSnapshot{
+		Schema:   "dualvdd-bench/1",
+		Go:       runtime.Version(),
+		MaxProcs: runtime.GOMAXPROCS(0),
+	}
+	for _, r := range rows {
+		c := BenchCircuit{
+			Name:            r.Name,
+			Gates:           r.OrgGates,
+			OrgPwrUW:        r.OrgPwrUW,
+			CVSPct:          r.CVSPct,
+			DscalePct:       r.DscalePct,
+			GscalePct:       r.GscalePct,
+			CVSMs:           r.CVSSec * 1e3,
+			DscaleMs:        r.DscaleSec * 1e3,
+			GscaleMs:        r.CPUSec * 1e3,
+			SimMs:           r.SimSec * 1e3,
+			DscaleSTAEvals:  r.DscaleEvals,
+			GscaleSTAEvals:  r.GscaleEvals,
+			DscaleCandEvals: r.DscaleCandEvals,
+		}
+		snap.Circuits = append(snap.Circuits, c)
+		snap.Totals.Circuits++
+		snap.Totals.CVSMs += c.CVSMs
+		snap.Totals.DscaleMs += c.DscaleMs
+		snap.Totals.GscaleMs += c.GscaleMs
+		snap.Totals.SimMs += c.SimMs
+		snap.Totals.DscaleSTAEvals += c.DscaleSTAEvals
+		snap.Totals.GscaleSTAEvals += c.GscaleSTAEvals
+		snap.Totals.DscaleCandEvals += c.DscaleCandEvals
+	}
+	return snap
+}
+
+// WriteBenchJSON writes the snapshot of rows as indented JSON.
+func WriteBenchJSON(w io.Writer, rows []Row) error {
+	b, err := json.MarshalIndent(Snapshot(rows), "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

@@ -17,8 +17,14 @@ type Row struct {
 	// Per-algorithm wall-clock seconds, so scaling-loop speedups are
 	// visible per table row in benchmark output.
 	CVSSec, DscaleSec float64
+	// SimSec is the wall clock the three runs spent in logic simulation
+	// (activity estimation plus final power measurement).
+	SimSec float64
 	// Incremental-STA gate evaluations spent by Dscale and Gscale.
 	DscaleEvals, GscaleEvals int64
+	// DscaleCandEvals counts Dscale candidate-cache re-evaluations; the
+	// full-rescan equivalent is OrgGates × Dscale rounds.
+	DscaleCandEvals int64
 	// Profiles (Table 2).
 	OrgGates                        int
 	CVSLow, DscaleLow, GscaleLow    int

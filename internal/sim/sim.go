@@ -3,6 +3,13 @@
 // simulations using 20 MHz clock frequency". It evaluates a mapped circuit
 // over pseudo-random input vectors, 64 patterns per machine word, and reports
 // the per-net 0→1 switching activity that the power model consumes.
+//
+// Two engines produce bit-identical results: the compiled engine (Compile
+// lowers the netlist to a flat levelized instruction tape that Program.Run
+// executes in multi-word blocks, optionally across workers), and the original
+// per-gate interpreter, kept as RunReference/EvalReference — the differential
+// oracle the compiled engine is tested against. Run and Eval are the compiled
+// fast path every caller uses.
 package sim
 
 import (
@@ -38,8 +45,32 @@ func piWord(seed uint64, pi, w int) uint64 {
 }
 
 // Run simulates words×64 random vectors (one per clock cycle) and returns
-// switching statistics per signal. Dead gates keep zero activity.
+// switching statistics per signal. Dead gates keep zero activity. It compiles
+// the circuit and executes the tape with the default worker count
+// (GOMAXPROCS); results are bit-identical to RunReference and to any other
+// worker count.
 func Run(c *netlist.Circuit, words int, seed uint64) (*Result, error) {
+	return RunParallel(c, words, seed, 0)
+}
+
+// RunParallel is Run with an explicit worker count (0 or negative means
+// GOMAXPROCS). The worker count never changes the result, only the wall
+// clock.
+func RunParallel(c *netlist.Circuit, words int, seed uint64, workers int) (*Result, error) {
+	if words < 1 {
+		return nil, fmt.Errorf("sim: need at least one word of vectors, got %d", words)
+	}
+	p, err := Compile(c)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run(words, seed, workers)
+}
+
+// RunReference is the original per-gate interpreter, retained as the
+// differential oracle for the compiled engine. It produces bit-identical
+// statistics to Run, one gate dispatch per word.
+func RunReference(c *netlist.Circuit, words int, seed uint64) (*Result, error) {
 	if words < 1 {
 		return nil, fmt.Errorf("sim: need at least one word of vectors, got %d", words)
 	}
@@ -100,7 +131,18 @@ func Run(c *netlist.Circuit, words int, seed uint64) (*Result, error) {
 
 // Eval runs the circuit over caller-supplied PI words and returns the PO
 // words, for functional-equivalence checking (e.g. mapper verification).
+// Compiled; bit-identical to EvalReference.
 func Eval(c *netlist.Circuit, piWords []uint64) ([]uint64, error) {
+	p, err := Compile(c)
+	if err != nil {
+		return nil, err
+	}
+	return p.Eval(piWords)
+}
+
+// EvalReference is the interpreted counterpart of Eval, retained as the
+// differential oracle.
+func EvalReference(c *netlist.Circuit, piWords []uint64) ([]uint64, error) {
 	if len(piWords) != len(c.PIs) {
 		return nil, fmt.Errorf("sim: Eval got %d PI words for %d PIs", len(piWords), len(c.PIs))
 	}

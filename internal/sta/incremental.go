@@ -56,6 +56,14 @@ type Incremental struct {
 
 	journal []undoRec
 	evals   int64
+
+	// changed is the change journal: every signal whose annotation values,
+	// consumer set or driver attributes (voltage, cell, liveness) changed
+	// since the last DrainChanged, deduplicated via inChg. Incremental
+	// consumers (Dscale's candidate cache, its bypass worklist, the running
+	// power total) key their invalidation off it.
+	changed []netlist.Signal
+	inChg   []bool
 }
 
 // Mark is a journal position returned by Checkpoint and consumed by Rollback.
@@ -106,6 +114,7 @@ func NewIncremental(ckt *netlist.Circuit, lib *cell.Library, tspec float64) (*In
 		order:    t.order,
 		inF:      make([]bool, len(ckt.Gates)),
 		inB:      make([]bool, len(ckt.Gates)),
+		inChg:    make([]bool, ckt.NumSignals()),
 	}
 	for i := range inc.prio {
 		inc.prio[i] = -1 // dead gates never propagate
@@ -151,6 +160,44 @@ func (t *Incremental) Order() []int {
 	return t.order
 }
 
+// mark records s in the change journal (deduplicated until the next drain).
+func (t *Incremental) mark(s netlist.Signal) {
+	if int(s) < len(t.inChg) && !t.inChg[s] {
+		t.inChg[s] = true
+		t.changed = append(t.changed, s)
+	}
+}
+
+// markGate records a gate's neighborhood in the change journal: its output
+// signal (attributes or liveness changed) and its fanin signals (their
+// consumer composition changed).
+func (t *Incremental) markGate(gi int) {
+	t.mark(t.ckt.GateSignal(gi))
+	for _, s := range t.ckt.Gates[gi].In {
+		t.mark(s)
+	}
+}
+
+// DrainChanged appends the change journal accumulated since the last drain to
+// buf and resets the journal, returning the extended buf (so steady-state
+// callers allocate nothing). The journal is a conservative superset: a
+// drained signal's arrival, required, slack or load value, its consumer set,
+// or its driving gate's voltage, cell or liveness may have changed — spurious
+// entries are possible, omissions are not. Mutations rolled back since the
+// last drain still appear (their values moved and moved back); entries may
+// reference signals beyond the current NumSignals after a Rollback of an
+// AddGate, which callers must skip.
+func (t *Incremental) DrainChanged(buf []netlist.Signal) []netlist.Signal {
+	for _, s := range t.changed {
+		if int(s) < len(t.inChg) {
+			t.inChg[s] = false
+		}
+		buf = append(buf, s)
+	}
+	t.changed = t.changed[:0]
+	return buf
+}
+
 // GateArrival recomputes gate gi's output arrival under a hypothetical
 // voltage level (the paper's check_timing primitive).
 func (t *Incremental) GateArrival(gi int, volt cell.VoltLevel) float64 {
@@ -179,6 +226,10 @@ func (t *Incremental) SetVolt(gi int, v cell.VoltLevel) {
 	}
 	t.journal = append(t.journal, undoRec{kind: recVolt, a: gi, v: g.Volt})
 	g.Volt = v
+	// The voltage move itself is journaled even when no timing value shifts:
+	// a consumer's rail decides whether its driver would need a level
+	// converter, so driver-side caches keyed on the fanin nets must see it.
+	t.markGate(gi)
 	t.pushF(gi)
 	t.pushB(gi)
 	t.settle()
@@ -196,6 +247,7 @@ func (t *Incremental) SetCell(gi int, cl *cell.Cell) {
 	}
 	t.journal = append(t.journal, undoRec{kind: recCell, a: gi, c: g.Cell})
 	g.Cell = cl
+	t.markGate(gi)
 	for _, s := range g.In {
 		t.reload(s)
 	}
@@ -219,6 +271,9 @@ func (t *Incremental) RewirePin(gi, pin int, to netlist.Signal) error {
 	}
 	t.journal = append(t.journal, undoRec{kind: recPin, a: gi, b: pin, sig: from})
 	g.In[pin] = to
+	// Both nets' consumer sets changed even if their loads happen not to.
+	t.mark(from)
+	t.mark(to)
 	cn := netlist.Conn{Gate: gi, Pin: pin}
 	t.fan.Disconnect(from, cn)
 	t.fan.Connect(to, cn)
@@ -245,6 +300,7 @@ func (t *Incremental) AddGate(name string, cl *cell.Cell, in ...netlist.Signal) 
 	t.fan.Grow(t.ckt.NumSignals())
 	t.inF = append(t.inF, false)
 	t.inB = append(t.inB, false)
+	t.inChg = append(t.inChg, false)
 	// Priority strictly after every fanin driver but strictly before the next
 	// integer: original gates carry integer priorities, so the new gate sorts
 	// before every pre-existing consumer of its sources (which may then be
@@ -266,6 +322,7 @@ func (t *Incremental) AddGate(name string, cl *cell.Cell, in ...netlist.Signal) 
 		t.reload(s)
 		t.rerequire(s)
 	}
+	t.markGate(gi)
 	t.pushF(gi)
 	t.settle()
 	return gi, out
@@ -281,6 +338,7 @@ func (t *Incremental) KillGate(gi int) error {
 	}
 	t.journal = append(t.journal, undoRec{kind: recDead, a: gi})
 	g.Dead = true
+	t.markGate(gi)
 	t.orderDirty = true
 	for pin, s := range g.In {
 		t.fan.Disconnect(s, netlist.Conn{Gate: gi, Pin: pin})
@@ -308,28 +366,37 @@ func (t *Incremental) Rollback(m Mark) {
 		switch r.kind {
 		case recArrival:
 			t.Arrival[r.a] = r.f
+			t.mark(netlist.Signal(r.a))
 		case recRequired:
 			t.Required[r.a] = r.f
+			t.mark(netlist.Signal(r.a))
 		case recSlack:
 			t.Slack[r.a] = r.f
+			t.mark(netlist.Signal(r.a))
 		case recLoad:
 			t.Load[r.a] = r.f
+			t.mark(netlist.Signal(r.a))
 		case recWorst:
 			t.worst = r.f
 		case recVolt:
 			t.ckt.Gates[r.a].Volt = r.v
+			t.markGate(r.a)
 		case recCell:
 			t.ckt.Gates[r.a].Cell = r.c
+			t.markGate(r.a)
 		case recPin:
 			g := t.ckt.Gates[r.a]
 			cn := netlist.Conn{Gate: r.a, Pin: r.b}
 			t.fan.Disconnect(g.In[r.b], cn)
 			t.fan.Connect(r.sig, cn)
+			t.mark(g.In[r.b])
+			t.mark(r.sig)
 			g.In[r.b] = r.sig
 		case recAdd:
 			g := t.ckt.Gates[r.a]
 			for pin, s := range g.In {
 				t.fan.Disconnect(s, netlist.Conn{Gate: r.a, Pin: pin})
+				t.mark(s)
 			}
 			t.ckt.Gates = t.ckt.Gates[:r.a]
 			n := t.ckt.NumSignals()
@@ -341,6 +408,7 @@ func (t *Incremental) Rollback(m Mark) {
 			t.prio = t.prio[:r.a]
 			t.inF = t.inF[:r.a]
 			t.inB = t.inB[:r.a]
+			t.inChg = t.inChg[:n]
 			t.orderDirty = true
 		case recDead:
 			g := t.ckt.Gates[r.a]
@@ -348,6 +416,7 @@ func (t *Incremental) Rollback(m Mark) {
 			for pin, s := range g.In {
 				t.fan.Connect(s, netlist.Conn{Gate: r.a, Pin: pin})
 			}
+			t.markGate(r.a)
 			t.orderDirty = true
 		}
 	}
@@ -422,6 +491,7 @@ func (t *Incremental) reload(s netlist.Signal) {
 	}
 	t.journal = append(t.journal, undoRec{kind: recLoad, a: int(s), f: t.Load[s]})
 	t.Load[s] = nl
+	t.mark(s)
 	if di := t.ckt.GateIndex(s); di >= 0 && !t.ckt.Gates[di].Dead {
 		t.pushF(di)
 		t.pushB(di)
@@ -460,6 +530,7 @@ func (t *Incremental) setRequired(s netlist.Signal, r float64) {
 	}
 	t.journal = append(t.journal, undoRec{kind: recRequired, a: int(s), f: old})
 	t.Required[s] = r
+	t.mark(s)
 	t.touched = append(t.touched, s)
 	if di := t.ckt.GateIndex(s); di >= 0 && !t.ckt.Gates[di].Dead {
 		t.pushB(di)
@@ -472,6 +543,7 @@ func (t *Incremental) setArrival(out int, a float64) {
 	}
 	t.journal = append(t.journal, undoRec{kind: recArrival, a: out, f: t.Arrival[out]})
 	t.Arrival[out] = a
+	t.mark(netlist.Signal(out))
 	t.touched = append(t.touched, netlist.Signal(out))
 	for _, cn := range t.fan.Conns[netlist.Signal(out)] {
 		t.pushF(cn.Gate)
@@ -494,6 +566,7 @@ func (t *Incremental) settle() {
 		}
 		t.journal = append(t.journal, undoRec{kind: recSlack, a: int(s), f: old})
 		t.Slack[s] = ns
+		t.mark(s)
 	}
 	t.touched = t.touched[:0]
 	if t.poDirty {
