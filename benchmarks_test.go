@@ -1,0 +1,39 @@
+package dualvdd_test
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"dualvdd"
+)
+
+// TestBenchmarksPinnedListAndOrder pins the exact content of Benchmarks():
+// 39 MCNC circuits, sorted, stable across calls. The server exposes this
+// list verbatim at /v1/benchmarks and clients may cache it, so any drift is
+// an API break and must show up here first.
+func TestBenchmarksPinnedListAndOrder(t *testing.T) {
+	want := []string{
+		"C1355", "C2670", "C3540", "C432", "C499", "C5315", "C7552", "C880",
+		"alu2", "alu4", "apex6", "apex7", "b9", "dalu", "des", "f51m",
+		"i1", "i10", "i2", "i3", "i5", "i6", "k2", "lal",
+		"mux", "my_adder", "pair", "pcle", "pm1", "rot", "sct", "term1",
+		"too_large", "vda", "x1", "x2", "x3", "x4", "z4ml",
+	}
+	got := dualvdd.Benchmarks()
+	if len(got) != 39 {
+		t.Fatalf("suite has %d circuits, the paper uses 39", len(got))
+	}
+	if !sort.StringsAreSorted(got) {
+		t.Fatalf("benchmark list is not sorted: %v", got)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("benchmark list drifted:\n got %v\nwant %v", got, want)
+	}
+	// Stable and aliasing-safe: mutating one call's slice must not leak
+	// into the next.
+	got[0] = "clobbered"
+	if again := dualvdd.Benchmarks(); !reflect.DeepEqual(again, want) {
+		t.Fatal("Benchmarks() shares its backing array with callers")
+	}
+}

@@ -1,0 +1,257 @@
+// Package client implements the dualvdd.Runner interface over HTTP against
+// a server started from the server package (or `dualvdd serve`). Because
+// both sides marshal through the wire schema in internal/report and the
+// stable JSON encodings of the root types, a job submitted here returns
+// FlowResults bit-identical to a local run — switching a program between
+// in-process and remote execution is one constructor swap:
+//
+//	var runner dualvdd.Runner = dualvdd.NewLocal()          // in-process
+//	runner, err := client.New("http://host:8080")           // remote
+//	id, err := runner.Submit(ctx, dualvdd.BenchmarkJob("C880"))
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"dualvdd"
+	"dualvdd/internal/report"
+)
+
+// Client is an HTTP-backed Runner.
+type Client struct {
+	base *url.URL
+	http *http.Client
+}
+
+// Option configures New.
+type Option func(*Client)
+
+// WithHTTPClient swaps the underlying http.Client (timeouts, transports,
+// test doubles). The default is a plain &http.Client{} — watch and wait
+// calls are long-lived, so no client-wide timeout is set; bound them per
+// call with the context.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) {
+		if hc != nil {
+			c.http = hc
+		}
+	}
+}
+
+// New builds a client for a server base URL like "http://127.0.0.1:8080".
+func New(baseURL string, opts ...Option) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("client: bad base URL: %w", err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("client: base URL %q needs a scheme and host", baseURL)
+	}
+	c := &Client{base: u, http: &http.Client{}}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c, nil
+}
+
+var _ dualvdd.Runner = (*Client)(nil)
+
+// endpoint joins the base URL with a path and optional query.
+func (c *Client) endpoint(path, query string) string {
+	u := *c.base
+	u.Path = strings.TrimRight(u.Path, "/") + path
+	u.RawQuery = query
+	return u.String()
+}
+
+// apiError converts a non-2xx response into an error, mapping the status
+// codes the server emits back onto the Runner sentinels so errors.Is holds
+// across the wire.
+func apiError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	var er report.ErrorResponse
+	msg := strings.TrimSpace(string(body))
+	if err := report.DecodeJSON(bytes.NewReader(body), &er); err == nil && er.Error != "" {
+		msg = er.Error
+	}
+	switch resp.StatusCode {
+	case http.StatusNotFound:
+		return fmt.Errorf("%w (%s)", dualvdd.ErrJobNotFound, msg)
+	case http.StatusTooManyRequests:
+		return fmt.Errorf("%w (%s)", dualvdd.ErrQueueFull, msg)
+	case http.StatusServiceUnavailable:
+		return fmt.Errorf("%w (%s)", dualvdd.ErrClosed, msg)
+	}
+	return fmt.Errorf("client: server returned %s: %s", resp.Status, msg)
+}
+
+// doJSON performs one request and decodes a JSON body into out.
+func (c *Client) doJSON(ctx context.Context, method, url string, body io.Reader, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, url, body)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", report.ContentTypeJSON)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return apiError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	return report.DecodeJSON(resp.Body, out)
+}
+
+// Submit posts the job and returns the server-assigned ID. See
+// dualvdd.Runner.
+func (c *Client) Submit(ctx context.Context, job dualvdd.Job) (dualvdd.JobID, error) {
+	if err := job.Validate(); err != nil {
+		return "", err
+	}
+	var buf bytes.Buffer
+	if err := report.WriteJSON(&buf, report.RequestFromJob(job)); err != nil {
+		return "", err
+	}
+	var res report.JobResource
+	if err := c.doJSON(ctx, http.MethodPost, c.endpoint(report.JobsPath, ""), &buf, &res); err != nil {
+		return "", err
+	}
+	return res.ID, nil
+}
+
+// Status fetches the job resource without waiting. See dualvdd.Runner.
+func (c *Client) Status(ctx context.Context, id dualvdd.JobID) (*dualvdd.JobStatus, error) {
+	var res report.JobResource
+	url := c.endpoint(report.JobsPath+"/"+string(id), "")
+	if err := c.doJSON(ctx, http.MethodGet, url, nil, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Result polls ?wait=1 until the job is terminal: the server holds each
+// request up to its request timeout, so the loop usually takes one round
+// trip. See dualvdd.Runner.
+func (c *Client) Result(ctx context.Context, id dualvdd.JobID) (*dualvdd.JobStatus, error) {
+	url := c.endpoint(report.JobsPath+"/"+string(id), "wait=1")
+	for {
+		var res report.JobResource
+		if err := c.doJSON(ctx, http.MethodGet, url, nil, &res); err != nil {
+			return nil, err
+		}
+		if res.State.Terminal() {
+			return &res, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// Cancel stops the job. See dualvdd.Runner.
+func (c *Client) Cancel(ctx context.Context, id dualvdd.JobID) error {
+	return c.doJSON(ctx, http.MethodDelete, c.endpoint(report.JobsPath+"/"+string(id), ""), nil, nil)
+}
+
+// Watch consumes the job's SSE stream, decoding each frame back into the
+// typed event it left the server as. The channel closes when the server
+// ends the stream (terminal job), ctx is done, or the connection drops —
+// per the Runner contract, a closed channel means the stream is over, not
+// that the job finished; confirm the outcome with Result or Status. See
+// dualvdd.Runner.
+func (c *Client) Watch(ctx context.Context, id dualvdd.JobID) (<-chan dualvdd.Event, error) {
+	url := c.endpoint(report.JobsPath+"/"+string(id)+"/events", "")
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", report.ContentTypeSSE)
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, apiError(resp)
+	}
+	out := make(chan dualvdd.Event)
+	go func() {
+		defer close(out)
+		defer resp.Body.Close()
+		scanner := bufio.NewScanner(resp.Body)
+		scanner.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+		var data []byte
+		flush := func() bool {
+			if len(data) == 0 {
+				return true
+			}
+			ev, err := dualvdd.UnmarshalEvent(data)
+			data = nil
+			if err != nil {
+				return false // a malformed frame ends the stream
+			}
+			select {
+			case out <- ev:
+				return true
+			case <-ctx.Done():
+				return false
+			}
+		}
+		for scanner.Scan() {
+			line := scanner.Text()
+			switch {
+			case line == "": // frame boundary
+				if !flush() {
+					return
+				}
+			case strings.HasPrefix(line, "data:"):
+				data = append(data, strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " ")...)
+			default:
+				// Per SSE, unknown fields and comments are ignored.
+			}
+		}
+		flush()
+	}()
+	return out, nil
+}
+
+// Benchmarks fetches the server's benchmark list (sorted, stable).
+func (c *Client) Benchmarks(ctx context.Context) ([]string, error) {
+	var res report.BenchmarksResponse
+	if err := c.doJSON(ctx, http.MethodGet, c.endpoint(report.BenchmarksPath, ""), nil, &res); err != nil {
+		return nil, err
+	}
+	return res.Benchmarks, nil
+}
+
+// Metrics fetches the server's counters snapshot.
+func (c *Client) Metrics(ctx context.Context) (dualvdd.Metrics, error) {
+	var m report.MetricsResponse
+	err := c.doJSON(ctx, http.MethodGet, c.endpoint(report.MetricsPath, ""), nil, &m)
+	return m, err
+}
+
+// Health probes /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	var h report.HealthResponse
+	if err := c.doJSON(ctx, http.MethodGet, c.endpoint(report.HealthPath, ""), nil, &h); err != nil {
+		return err
+	}
+	if h.Status != "ok" {
+		return fmt.Errorf("client: server unhealthy: %q", h.Status)
+	}
+	return nil
+}

@@ -9,6 +9,11 @@
 //	dualvdd -bench C880 -algo gscale
 //	dualvdd -in circuit.blif -algo dscale -out scaled.blif
 //	dualvdd -in circuit.blif -algo all -timeout 30s
+//
+// The serve subcommand runs the HTTP job service instead (submit jobs with
+// the client package or plain curl; see the server package for endpoints):
+//
+//	dualvdd serve -listen 127.0.0.1:8080 -workers 4 -queue-depth 64
 package main
 
 import (
@@ -22,6 +27,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		runServe(os.Args[2:])
+		return
+	}
 	def := dualvdd.DefaultConfig()
 	in := flag.String("in", "", "input BLIF file (.names form)")
 	bench := flag.String("bench", "", "MCNC benchmark name (alternative to -in)")

@@ -44,6 +44,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"dualvdd/internal/blif"
@@ -62,29 +63,30 @@ import (
 type Config struct {
 	// Vhigh, Vlow are the two supply rails; the paper uses (5, 4.3) "in
 	// accordance with our internal design project".
-	Vhigh, Vlow float64
+	Vhigh float64 `json:"vhigh"`
+	Vlow  float64 `json:"vlow"`
 	// SlackFactor loosens the timing constraint over the minimum-delay
 	// mapping (1.2 = the paper's 20%).
-	SlackFactor float64
+	SlackFactor float64 `json:"slack_factor"`
 	// MaxAreaIncrease is Gscale's area budget (0.10 in the paper).
-	MaxAreaIncrease float64
+	MaxAreaIncrease float64 `json:"max_area_increase"`
 	// MaxIter is Gscale's unsuccessful-push bound (10 in the paper).
-	MaxIter int
+	MaxIter int `json:"max_iter"`
 	// SimWords is the number of 64-vector words for power estimation.
-	SimWords int
+	SimWords int `json:"sim_words"`
 	// SimWorkers bounds the word-parallel workers of the compiled logic
 	// simulation; 0 means GOMAXPROCS. Any setting produces bit-identical
 	// estimates — the workers reduce integer statistics in fixed order.
-	SimWorkers int
+	SimWorkers int `json:"sim_workers,omitempty"`
 	// Seed drives the random simulation.
-	Seed uint64
+	Seed uint64 `json:"seed"`
 	// Fclk is the power-estimation clock (20 MHz in the paper).
-	Fclk float64
+	Fclk float64 `json:"fclk_hz"`
 	// GreedySelect and GreedySizing swap the paper's combinatorial
 	// formulations (MWIS selection in Dscale, separator-cut sizing in
 	// Gscale) for greedy baselines. They exist for the ablation benchmarks.
-	GreedySelect bool
-	GreedySizing bool
+	GreedySelect bool `json:"greedy_select,omitempty"`
+	GreedySizing bool `json:"greedy_sizing,omitempty"`
 }
 
 // DefaultConfig returns the paper's parameters.
@@ -200,42 +202,54 @@ func loadBLIF(ctx context.Context, r io.Reader, cfg Config, obs Observer) (*Desi
 	return prepare(ctx, net, cfg, obs)
 }
 
-// Benchmarks lists the 39 circuit names of the paper's test bed.
-func Benchmarks() []string { return mcnc.Names() }
+// Benchmarks lists the 39 circuit names of the paper's test bed. The list is
+// sorted and stable across calls — servers expose it verbatim and clients may
+// cache it.
+func Benchmarks() []string {
+	names := append([]string(nil), mcnc.Names()...)
+	sort.Strings(names)
+	return names
+}
 
 // FlowResult reports one scaling run.
+//
+// The struct has a stable JSON encoding (snake_case keys, durations in
+// nanoseconds) — it is the result schema the server and client exchange.
+// Circuit is local-only and never crosses the wire.
 type FlowResult struct {
 	// Algorithm is "CVS", "Dscale" or "Gscale".
-	Algorithm string
+	Algorithm string `json:"algorithm"`
 	// Power is the post-scaling total power in watts; ImprovePct the
 	// percentage improvement over the design's OrgPower (Table 1).
-	Power      float64
-	ImprovePct float64
+	Power      float64 `json:"power_w"`
+	ImprovePct float64 `json:"improve_pct"`
 	// Gates counts live ordinary gates, LowGates those at Vlow, LCs the
 	// level converters, Sized the gates Gscale resized (Table 2).
-	Gates    int
-	LowGates int
-	LCs      int
-	Sized    int
+	Gates    int `json:"gates"`
+	LowGates int `json:"low_gates"`
+	LCs      int `json:"lcs"`
+	Sized    int `json:"sized"`
 	// LowRatio = LowGates/Gates, AreaIncrease the relative area growth.
-	LowRatio     float64
-	AreaIncrease float64
+	LowRatio     float64 `json:"low_ratio"`
+	AreaIncrease float64 `json:"area_increase"`
 	// Runtime is the wall-clock time of the algorithm itself.
-	Runtime time.Duration
+	Runtime time.Duration `json:"runtime_ns"`
 	// STAEvals counts per-gate incremental timing evaluations spent by the
 	// run — the work a full re-analysis per move would multiply by the
 	// circuit size. The ratio STAEvals/(moves × gates) is the incremental
 	// engine's win.
-	STAEvals int64
+	STAEvals int64 `json:"sta_evals"`
 	// CandEvals counts Dscale candidate-cache re-evaluations (zero for the
 	// other algorithms); a full per-round rescan would pay roughly
 	// gates × rounds. See core.Result.CandEvals.
-	CandEvals int64
+	CandEvals int64 `json:"cand_evals"`
 	// SimTime is the wall clock spent in logic simulation: the algorithm's
 	// own activity estimation plus the final power measurement.
-	SimTime time.Duration
-	// Circuit is the scaled clone, for inspection or BLIF export.
-	Circuit *netlist.Circuit
+	SimTime time.Duration `json:"sim_ns"`
+	// Circuit is the scaled clone, for inspection or BLIF export. It stays
+	// local: the JSON encoding skips it, so results decoded from the wire
+	// carry a nil Circuit.
+	Circuit *netlist.Circuit `json:"-"`
 }
 
 // coreOptions converts the config for internal/core.

@@ -24,15 +24,15 @@ type Event interface{ isEvent() }
 // and measured for original power. Emitted once per Prepare.
 type EventMapped struct {
 	// Circuit is the design name.
-	Circuit string
+	Circuit string `json:"circuit"`
 	// Gates is the number of live mapped gates.
-	Gates int
+	Gates int `json:"gates"`
 	// MinDelay is the minimum-delay mapping's critical path (ns); Tspec the
 	// relaxed constraint handed to the algorithms.
-	MinDelay float64
-	Tspec    float64
+	MinDelay float64 `json:"min_delay_ns"`
+	Tspec    float64 `json:"tspec_ns"`
 	// OrgPower is the single-supply power in watts.
-	OrgPower float64
+	OrgPower float64 `json:"org_power_w"`
 }
 
 // EventMove reports one accepted per-gate move: a supply lowering inside a
@@ -40,42 +40,42 @@ type EventMapped struct {
 // Dscale, Gscale's TCB pushes) report under the outer algorithm's name with
 // the outer round number.
 type EventMove struct {
-	Circuit   string
-	Algorithm string
+	Circuit   string `json:"circuit"`
+	Algorithm string `json:"algorithm"`
 	// Round is the iteration the move belongs to (0 = the initial nested
 	// CVS clustering of Dscale/Gscale).
-	Round int
+	Round int `json:"round"`
 	// Gate is the lowered gate's index in Design.Circuit's gate table.
-	Gate int
+	Gate int `json:"gate"`
 }
 
 // EventRoundDone reports one finished algorithm iteration: a Dscale
 // slack-harvesting round or a Gscale TCB push (CVS emits a single round for
 // its one sweep).
 type EventRoundDone struct {
-	Circuit   string
-	Algorithm string
-	Round     int
+	Circuit   string `json:"circuit"`
+	Algorithm string `json:"algorithm"`
+	Round     int    `json:"round"`
 	// Moves counts the iteration's accepted moves — lowered gates for
 	// CVS/Dscale, resized gates for Gscale.
-	Moves int
+	Moves int `json:"moves"`
 	// LowGates is the current number of ordinary gates at Vlow.
-	LowGates int
+	LowGates int `json:"low_gates"`
 	// Power is the current total-power estimate in watts where the loop has
 	// activity data at hand (Dscale rounds); 0 means "not computed".
-	Power float64
+	Power float64 `json:"power_w"`
 	// STAEvals is the cumulative incremental-timing evaluation count.
-	STAEvals int64
+	STAEvals int64 `json:"sta_evals"`
 	// WorstArrival is the current critical-path arrival time (ns).
-	WorstArrival float64
+	WorstArrival float64 `json:"worst_arrival_ns"`
 }
 
 // EventResult reports a finished algorithm run with its verified result.
 // Emitted once per Run* call, after the final timing check and power
 // measurement.
 type EventResult struct {
-	Circuit string
-	Result  *FlowResult
+	Circuit string      `json:"circuit"`
+	Result  *FlowResult `json:"result"`
 }
 
 func (EventMapped) isEvent()    {}

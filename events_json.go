@@ -1,0 +1,145 @@
+package dualvdd
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Event kinds as they appear in the JSON envelope's "type" field. The strings
+// are wire format — stable across releases.
+const (
+	EventKindMapped    = "mapped"
+	EventKindMove      = "move"
+	EventKindRoundDone = "round_done"
+	EventKindResult    = "result"
+)
+
+// EventKind returns the envelope type tag of an event, or "" for an unknown
+// implementation of Event.
+func EventKind(ev Event) string {
+	switch ev.(type) {
+	case EventMapped, *EventMapped:
+		return EventKindMapped
+	case EventMove, *EventMove:
+		return EventKindMove
+	case EventRoundDone, *EventRoundDone:
+		return EventKindRoundDone
+	case EventResult, *EventResult:
+		return EventKindResult
+	}
+	return ""
+}
+
+// envelope is the type-tagged wire form every event marshals to:
+//
+//	{"type":"round_done","data":{"circuit":"C880","algorithm":"Dscale",...}}
+//
+// The tag makes the stream self-describing, so an SSE consumer (or a
+// -progress log reader) can dispatch without guessing at field sets.
+type envelope struct {
+	Type string          `json:"type"`
+	Data json.RawMessage `json:"data"`
+}
+
+func marshalEnvelope(kind string, data any) ([]byte, error) {
+	raw, err := json.Marshal(data)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(envelope{Type: kind, Data: raw})
+}
+
+func unmarshalEnvelope(b []byte, kind string, data any) error {
+	var env envelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		return err
+	}
+	if env.Type != kind {
+		return fmt.Errorf("dualvdd: event envelope has type %q, want %q", env.Type, kind)
+	}
+	return json.Unmarshal(env.Data, data)
+}
+
+// eventMappedJSON et al. break the MarshalJSON recursion: the alias type has
+// the same fields and tags but not the method set.
+type (
+	eventMappedJSON    EventMapped
+	eventMoveJSON      EventMove
+	eventRoundDoneJSON EventRoundDone
+	eventResultJSON    EventResult
+)
+
+// MarshalJSON encodes the event as a type-tagged envelope.
+func (e EventMapped) MarshalJSON() ([]byte, error) {
+	return marshalEnvelope(EventKindMapped, eventMappedJSON(e))
+}
+
+// UnmarshalJSON decodes a type-tagged envelope, rejecting a mismatched tag.
+func (e *EventMapped) UnmarshalJSON(b []byte) error {
+	return unmarshalEnvelope(b, EventKindMapped, (*eventMappedJSON)(e))
+}
+
+// MarshalJSON encodes the event as a type-tagged envelope.
+func (e EventMove) MarshalJSON() ([]byte, error) {
+	return marshalEnvelope(EventKindMove, eventMoveJSON(e))
+}
+
+// UnmarshalJSON decodes a type-tagged envelope, rejecting a mismatched tag.
+func (e *EventMove) UnmarshalJSON(b []byte) error {
+	return unmarshalEnvelope(b, EventKindMove, (*eventMoveJSON)(e))
+}
+
+// MarshalJSON encodes the event as a type-tagged envelope.
+func (e EventRoundDone) MarshalJSON() ([]byte, error) {
+	return marshalEnvelope(EventKindRoundDone, eventRoundDoneJSON(e))
+}
+
+// UnmarshalJSON decodes a type-tagged envelope, rejecting a mismatched tag.
+func (e *EventRoundDone) UnmarshalJSON(b []byte) error {
+	return unmarshalEnvelope(b, EventKindRoundDone, (*eventRoundDoneJSON)(e))
+}
+
+// MarshalJSON encodes the event as a type-tagged envelope. The embedded
+// FlowResult is encoded without its Circuit.
+func (e EventResult) MarshalJSON() ([]byte, error) {
+	return marshalEnvelope(EventKindResult, eventResultJSON(e))
+}
+
+// UnmarshalJSON decodes a type-tagged envelope, rejecting a mismatched tag.
+func (e *EventResult) UnmarshalJSON(b []byte) error {
+	return unmarshalEnvelope(b, EventKindResult, (*eventResultJSON)(e))
+}
+
+// MarshalEvent encodes any event as its type-tagged JSON envelope. Like
+// EventKind, it accepts both value and pointer forms.
+func MarshalEvent(ev Event) ([]byte, error) {
+	if EventKind(ev) == "" {
+		return nil, fmt.Errorf("dualvdd: cannot marshal event type %T", ev)
+	}
+	return json.Marshal(ev) // the value-receiver MarshalJSON emits the envelope
+}
+
+// UnmarshalEvent decodes a type-tagged envelope into the matching concrete
+// event. Unknown type tags are an error, so a newer server talking to an
+// older client fails loudly instead of silently dropping fields.
+func UnmarshalEvent(b []byte) (Event, error) {
+	var env envelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		return nil, err
+	}
+	switch env.Type {
+	case EventKindMapped:
+		var e EventMapped
+		return e, json.Unmarshal(env.Data, (*eventMappedJSON)(&e))
+	case EventKindMove:
+		var e EventMove
+		return e, json.Unmarshal(env.Data, (*eventMoveJSON)(&e))
+	case EventKindRoundDone:
+		var e EventRoundDone
+		return e, json.Unmarshal(env.Data, (*eventRoundDoneJSON)(&e))
+	case EventKindResult:
+		var e EventResult
+		return e, json.Unmarshal(env.Data, (*eventResultJSON)(&e))
+	}
+	return nil, fmt.Errorf("dualvdd: unknown event type %q", env.Type)
+}

@@ -1,0 +1,131 @@
+package dualvdd
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// eventFixtures returns one fully populated value per event kind. The test
+// below fails if a new Event implementation is added without extending this
+// list, so the codec cannot silently lag the type set.
+func eventFixtures() map[string]Event {
+	return map[string]Event{
+		EventKindMapped: EventMapped{
+			Circuit: "C880", Gates: 157, MinDelay: 3.25, Tspec: 3.9, OrgPower: 8.012e-5,
+		},
+		EventKindMove: EventMove{
+			Circuit: "C880", Algorithm: "Dscale", Round: 2, Gate: 41,
+		},
+		EventKindRoundDone: EventRoundDone{
+			Circuit: "C880", Algorithm: "Dscale", Round: 2, Moves: 7,
+			LowGates: 93, Power: 6.4e-5, STAEvals: 1365, WorstArrival: 3.8991,
+		},
+		EventKindResult: EventResult{
+			Circuit: "C880",
+			Result: &FlowResult{
+				Algorithm: "Gscale", Power: 6.19e-5, ImprovePct: 22.7,
+				Gates: 157, LowGates: 147, LCs: 3, Sized: 18,
+				LowRatio: 0.9363, AreaIncrease: 0.095,
+				Runtime: 1500 * time.Millisecond, STAEvals: 3608, CandEvals: 239,
+				SimTime: 12 * time.Millisecond,
+			},
+		},
+	}
+}
+
+func TestEventJSONRoundTripEveryKind(t *testing.T) {
+	fixtures := eventFixtures()
+	// Completeness: every wire kind has a fixture, and every fixture's
+	// EventKind agrees with its map key.
+	kinds := []string{EventKindMapped, EventKindMove, EventKindRoundDone, EventKindResult}
+	if len(fixtures) != len(kinds) {
+		t.Fatalf("fixture set has %d kinds, codec declares %d", len(fixtures), len(kinds))
+	}
+	for _, kind := range kinds {
+		ev, ok := fixtures[kind]
+		if !ok {
+			t.Fatalf("no fixture for event kind %q", kind)
+		}
+		if got := EventKind(ev); got != kind {
+			t.Fatalf("EventKind(%T) = %q, want %q", ev, got, kind)
+		}
+
+		b, err := MarshalEvent(ev)
+		if err != nil {
+			t.Fatalf("marshal %s: %v", kind, err)
+		}
+		// The envelope is type-tagged and self-describing.
+		var env struct {
+			Type string          `json:"type"`
+			Data json.RawMessage `json:"data"`
+		}
+		if err := json.Unmarshal(b, &env); err != nil {
+			t.Fatalf("envelope %s: %v\n%s", kind, err, b)
+		}
+		if env.Type != kind || len(env.Data) == 0 {
+			t.Fatalf("envelope for %s = {type:%q, data:%d bytes}", kind, env.Type, len(env.Data))
+		}
+
+		back, err := UnmarshalEvent(b)
+		if err != nil {
+			t.Fatalf("unmarshal %s: %v", kind, err)
+		}
+		if !reflect.DeepEqual(back, ev) {
+			t.Fatalf("%s round trip drifted:\n got %#v\nwant %#v", kind, back, ev)
+		}
+
+		// json.Marshal on the concrete value goes through MarshalJSON and
+		// must produce the same envelope as MarshalEvent.
+		direct, err := json.Marshal(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(direct) != string(b) {
+			t.Fatalf("%s: json.Marshal and MarshalEvent disagree:\n%s\n%s", kind, direct, b)
+		}
+	}
+}
+
+func TestEventJSONStableEncoding(t *testing.T) {
+	// The wire bytes are a contract (SSE consumers, -progress logs); this
+	// pins the field names so a rename cannot slip through silently.
+	b, err := MarshalEvent(eventFixtures()[EventKindRoundDone])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"type":"round_done","data":{"circuit":"C880","algorithm":"Dscale","round":2,"moves":7,"low_gates":93,"power_w":0.000064,"sta_evals":1365,"worst_arrival_ns":3.8991}}`
+	if string(b) != want {
+		t.Fatalf("round_done encoding drifted:\n got %s\nwant %s", b, want)
+	}
+}
+
+func TestEventResultJSONExcludesCircuit(t *testing.T) {
+	ev := eventFixtures()[EventKindResult].(EventResult)
+	b, err := MarshalEvent(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(strings.ToLower(string(b)), "circuit\":{") {
+		t.Fatalf("netlist leaked into the wire encoding: %s", b)
+	}
+}
+
+type bogusEvent struct{}
+
+func (bogusEvent) isEvent() {}
+
+func TestEventJSONRejectsUnknown(t *testing.T) {
+	if _, err := MarshalEvent(bogusEvent{}); err == nil {
+		t.Fatal("marshalled an unregistered event type")
+	}
+	if _, err := UnmarshalEvent([]byte(`{"type":"nonesuch","data":{}}`)); err == nil {
+		t.Fatal("decoded an unknown type tag")
+	}
+	var e EventMove
+	if err := e.UnmarshalJSON([]byte(`{"type":"mapped","data":{}}`)); err == nil {
+		t.Fatal("EventMove accepted a mapped envelope")
+	}
+}

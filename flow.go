@@ -131,6 +131,11 @@ func WithObserver(obs Observer) Option {
 // Config returns the legacy Config the Flow's options resolve to.
 func (f *Flow) Config() Config { return f.cfg }
 
+// Algorithms returns the algorithms Run executes, in order. Together with
+// Config it is the Flow's full serializable state — what a Job carries to a
+// remote Runner.
+func (f *Flow) Algorithms() []Algorithm { return append([]Algorithm(nil), f.algos...) }
+
 // Prepare maps a logic network and measures its original power. The context
 // is checked between the pipeline's stages.
 func (f *Flow) Prepare(ctx context.Context, net *logic.Network) (*Design, error) {

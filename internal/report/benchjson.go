@@ -87,13 +87,19 @@ func Snapshot(rows []Row) BenchSnapshot {
 	return snap
 }
 
-// WriteBenchJSON writes the snapshot of rows as indented JSON.
-func WriteBenchJSON(w io.Writer, rows []Row) error {
-	b, err := json.MarshalIndent(Snapshot(rows), "", "  ")
+// Write emits the snapshot as indented JSON — the exact bytes of a
+// BENCH_*.json file. The golden test pins this encoding.
+func (s BenchSnapshot) Write(w io.Writer) error {
+	b, err := json.MarshalIndent(s, "", "  ")
 	if err != nil {
 		return err
 	}
 	b = append(b, '\n')
 	_, err = w.Write(b)
 	return err
+}
+
+// WriteBenchJSON writes the snapshot of rows as indented JSON.
+func WriteBenchJSON(w io.Writer, rows []Row) error {
+	return Snapshot(rows).Write(w)
 }

@@ -1,0 +1,118 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dualvdd"
+)
+
+// This file is the HTTP wire schema of the dualvdd job API, shared by the
+// server and client packages so the two cannot drift apart: both sides
+// marshal through these exact types, and the round-trip tests in this
+// package pin the encoding. The result payloads reuse the stable JSON forms
+// of dualvdd.JobStatus / dualvdd.FlowResult / dualvdd.Event — one schema for
+// SSE frames, job resources and -progress logs alike.
+
+// API paths and media types of the v1 job service.
+const (
+	// JobsPath accepts POST (submit) and hosts the per-job resources:
+	// GET JobsPath/{id} (status; ?wait=1 blocks until terminal),
+	// DELETE JobsPath/{id} (cancel), GET JobsPath/{id}/events (SSE).
+	JobsPath = "/v1/jobs"
+	// BenchmarksPath lists the MCNC suite (sorted, stable).
+	BenchmarksPath = "/v1/benchmarks"
+	// HealthPath and MetricsPath are the operational endpoints.
+	HealthPath  = "/healthz"
+	MetricsPath = "/metricsz"
+
+	// ContentTypeJSON and ContentTypeSSE are the response media types.
+	ContentTypeJSON = "application/json"
+	ContentTypeSSE  = "text/event-stream"
+)
+
+// JobRequest is the POST /v1/jobs body.
+type JobRequest struct {
+	// Benchmark names an MCNC circuit; BLIF inlines a .names-form model.
+	// Exactly one must be set.
+	Benchmark string `json:"benchmark,omitempty"`
+	BLIF      string `json:"blif,omitempty"`
+	// Config is the resolved flow configuration; omitted means the
+	// server-side paper defaults.
+	Config *dualvdd.Config `json:"config,omitempty"`
+	// Algorithms selects the algorithms in order; empty means all three.
+	Algorithms []dualvdd.Algorithm `json:"algorithms,omitempty"`
+}
+
+// RequestFromJob encodes a Job for the wire.
+func RequestFromJob(job dualvdd.Job) JobRequest {
+	cfg := job.Config
+	return JobRequest{
+		Benchmark:  job.Benchmark,
+		BLIF:       job.BLIF,
+		Config:     &cfg,
+		Algorithms: job.Algorithms,
+	}
+}
+
+// Job decodes the request into a dualvdd.Job, applying the default config
+// when the request omitted one.
+func (r JobRequest) Job() dualvdd.Job {
+	cfg := dualvdd.DefaultConfig()
+	if r.Config != nil {
+		cfg = *r.Config
+	}
+	return dualvdd.Job{
+		Benchmark:  r.Benchmark,
+		BLIF:       r.BLIF,
+		Config:     cfg,
+		Algorithms: r.Algorithms,
+	}
+}
+
+// JobResource is the job representation every /v1/jobs response body
+// carries. It is dualvdd.JobStatus verbatim — the status struct's JSON tags
+// are the wire contract.
+type JobResource = dualvdd.JobStatus
+
+// BenchmarksResponse is the GET /v1/benchmarks body.
+type BenchmarksResponse struct {
+	Benchmarks []string `json:"benchmarks"`
+}
+
+// HealthResponse is the GET /healthz body.
+type HealthResponse struct {
+	Status string `json:"status"`
+}
+
+// MetricsResponse is the GET /metricsz body: the runner's counters snapshot.
+type MetricsResponse = dualvdd.Metrics
+
+// ErrorResponse is the body of every non-2xx JSON response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// WriteJSON writes v as a JSON response body with a trailing newline.
+func WriteJSON(w io.Writer, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// DecodeJSON decodes one JSON value and rejects trailing garbage.
+func DecodeJSON(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("report: trailing data after JSON body")
+	}
+	return nil
+}

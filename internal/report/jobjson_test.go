@@ -1,0 +1,65 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dualvdd"
+)
+
+func TestJobRequestRoundTrip(t *testing.T) {
+	job := dualvdd.BenchmarkJob("C880",
+		dualvdd.WithSeed(7),
+		dualvdd.WithVoltages(5.0, 3.9),
+		dualvdd.WithAlgorithms(dualvdd.AlgoDscale, dualvdd.AlgoGscale),
+	)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, RequestFromJob(job)); err != nil {
+		t.Fatal(err)
+	}
+	var back JobRequest
+	if err := DecodeJSON(&buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Job(), job) {
+		t.Fatalf("job drifted over the wire:\n got %+v\nwant %+v", back.Job(), job)
+	}
+}
+
+func TestJobRequestDefaultsConfig(t *testing.T) {
+	var req JobRequest
+	if err := DecodeJSON(strings.NewReader(`{"benchmark":"x2"}`), &req); err != nil {
+		t.Fatal(err)
+	}
+	job := req.Job()
+	if job.Config != dualvdd.DefaultConfig() {
+		t.Fatalf("omitted config did not default: %+v", job.Config)
+	}
+	if err := job.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJobRequestStableEncoding(t *testing.T) {
+	// The request body is wire contract; pin its field names.
+	b, err := json.Marshal(RequestFromJob(dualvdd.BenchmarkJob("x2", dualvdd.WithAlgorithms(dualvdd.AlgoCVS))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"benchmark":"x2","config":{"vhigh":5,"vlow":4.3,"slack_factor":1.2,` +
+		`"max_area_increase":0.1,"max_iter":10,"sim_words":256,"seed":1,"fclk_hz":20000000},` +
+		`"algorithms":["CVS"]}`
+	if string(b) != want {
+		t.Fatalf("request encoding drifted:\n got %s\nwant %s", b, want)
+	}
+}
+
+func TestDecodeJSONRejectsTrailingData(t *testing.T) {
+	var req JobRequest
+	if err := DecodeJSON(strings.NewReader(`{"benchmark":"x2"}{"benchmark":"b9"}`), &req); err == nil {
+		t.Fatal("trailing body accepted")
+	}
+}

@@ -1,0 +1,555 @@
+package dualvdd
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"dualvdd/internal/logic"
+)
+
+// Local is the in-process Runner: a bounded job queue drained by a worker
+// pool (fanned out by the same Batch primitive that powers suite
+// evaluation), per-job contexts for cancellation, and a content-addressed
+// result cache so identical submissions are answered without recomputation.
+// It is the reference implementation of the Runner contract — the server
+// package puts an HTTP surface in front of exactly this, and the httptest
+// integration suite holds the two to the same behavior.
+//
+// A Local is safe for concurrent use. Close drains it; after Close, Submit
+// fails with ErrClosed. Terminal jobs stay queryable up to the
+// LocalJobHistory bound, then are forgotten — a long-lived service holds a
+// bounded amount of state no matter how many jobs pass through.
+type Local struct {
+	queue      chan *localJob
+	workers    int
+	cacheLimit int
+	history    int
+
+	mu       sync.Mutex
+	jobs     map[JobID]*localJob
+	retired  []JobID // terminal jobs in completion order, oldest first
+	order    int64
+	closed   bool
+	idle     chan struct{} // closed when the worker pool exits
+	cache    map[string]*list.Element
+	cacheLRU *list.List // front = most recent; values are *cacheEntry
+	metrics  Metrics
+}
+
+type cacheEntry struct {
+	key     string
+	design  *DesignInfo
+	results []*FlowResult
+}
+
+// localJob is one submission's full record: spec, lifecycle state, the
+// per-job context, and the append-only event log Watch replays.
+type localJob struct {
+	spec Job
+	key  string
+	net  *logic.Network // parsed once at Submit
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	status JobStatus
+	events []Event
+	update chan struct{} // closed and replaced on every append/state change
+	done   chan struct{} // closed on terminal state
+}
+
+// LocalOption configures NewLocal.
+type LocalOption func(*Local)
+
+// LocalWorkers bounds the worker pool (default 1, minimum 1). Each worker
+// runs one job at a time; jobs themselves may still parallelize their logic
+// simulation via WithSimWorkers.
+func LocalWorkers(n int) LocalOption {
+	return func(l *Local) {
+		if n > 0 {
+			l.workers = n
+		}
+	}
+}
+
+// LocalQueueDepth bounds how many submitted jobs may wait for a worker
+// (default 64). A full queue rejects Submit with ErrQueueFull — backpressure
+// instead of unbounded memory.
+func LocalQueueDepth(n int) LocalOption {
+	return func(l *Local) {
+		if n >= 0 {
+			l.queue = make(chan *localJob, n)
+		}
+	}
+}
+
+// LocalCacheEntries bounds the content-addressed result cache (default 256).
+// Zero disables caching.
+func LocalCacheEntries(n int) LocalOption {
+	return func(l *Local) {
+		if n >= 0 {
+			l.cacheLimit = n
+		}
+	}
+}
+
+// LocalJobHistory bounds how many terminal jobs stay queryable (default
+// 1024, minimum 1). Past the bound the oldest-completed job is forgotten —
+// its ID starts returning ErrJobNotFound — so a long-lived service does not
+// accumulate event logs and results without end. Queued and running jobs
+// never count against the bound.
+func LocalJobHistory(n int) LocalOption {
+	return func(l *Local) {
+		if n > 0 {
+			l.history = n
+		}
+	}
+}
+
+// NewLocal builds a Local runner and starts its worker pool.
+func NewLocal(opts ...LocalOption) *Local {
+	l := &Local{
+		workers:    1,
+		cacheLimit: 256,
+		history:    1024,
+		jobs:       make(map[JobID]*localJob),
+		idle:       make(chan struct{}),
+		cache:      make(map[string]*list.Element),
+		cacheLRU:   list.New(),
+	}
+	for _, opt := range opts {
+		opt(l)
+	}
+	if l.queue == nil {
+		l.queue = make(chan *localJob, 64)
+	}
+	// The pool is Batch fanning out n infinite worker loops: each pool
+	// goroutine takes exactly one loop (a loop only returns at drain), so
+	// the service reuses the one deterministic fan-out primitive the
+	// repository already trusts instead of a second hand-rolled pool.
+	go func() {
+		defer close(l.idle)
+		_ = Batch{Workers: l.workers}.Each(context.Background(), l.workers,
+			func(context.Context, int) error {
+				for j := range l.queue {
+					l.runJob(j)
+				}
+				return nil
+			})
+	}()
+	return l
+}
+
+var _ Runner = (*Local)(nil)
+var _ MetricsProvider = (*Local)(nil)
+
+// Submit validates the job, answers it from the cache on a content hit, and
+// otherwise enqueues it. See Runner.
+func (l *Local) Submit(ctx context.Context, job Job) (JobID, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	key, net, err := job.key() // validates and parses the circuit once
+	if err != nil {
+		return "", err
+	}
+	jctx, jcancel := context.WithCancel(context.Background())
+	j := &localJob{
+		spec:   job,
+		key:    key,
+		net:    net,
+		ctx:    jctx,
+		cancel: jcancel,
+		update: make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		jcancel()
+		return "", ErrClosed
+	}
+	l.order++
+	id := JobID(fmt.Sprintf("job-%06d-%s", l.order, key[:8]))
+	j.status = JobStatus{ID: id, State: JobQueued}
+	if entry := l.cacheGet(key); entry != nil {
+		l.metrics.CacheHits++
+		l.metrics.JobsDone++
+		l.jobs[id] = j
+		l.mu.Unlock()
+		j.completeFromCache(entry)
+		l.retire(j)
+		return id, nil
+	}
+	l.metrics.CacheMisses++
+	select {
+	case l.queue <- j:
+		l.metrics.JobsQueued++
+		l.jobs[id] = j
+		l.mu.Unlock()
+		return id, nil
+	default:
+		l.mu.Unlock()
+		jcancel()
+		return "", ErrQueueFull
+	}
+}
+
+// completeFromCache finishes a job with another run's results, replaying the
+// synthetic event history (mapped, then one result per algorithm) so Watch
+// behaves the same for hits and misses.
+func (j *localJob) completeFromCache(entry *cacheEntry) {
+	design := *entry.design
+	j.mu.Lock()
+	j.status.State = JobDone
+	j.status.Cached = true
+	j.status.Design = &design
+	j.status.Results = entry.results
+	j.events = append(j.events, EventMapped{
+		Circuit: design.Name, Gates: design.Gates,
+		MinDelay: design.MinDelay, Tspec: design.Tspec, OrgPower: design.OrgPower,
+	})
+	for _, res := range entry.results {
+		j.events = append(j.events, EventResult{Circuit: design.Name, Result: res})
+	}
+	j.bump() // a Watch may have attached between Submit's map insert and here
+	j.mu.Unlock()
+	j.cancel()
+	close(j.done)
+}
+
+// find looks a job up.
+func (l *Local) find(id JobID) (*localJob, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	j, ok := l.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrJobNotFound, id)
+	}
+	return j, nil
+}
+
+// Status returns a snapshot of the job. See Runner.
+func (l *Local) Status(ctx context.Context, id JobID) (*JobStatus, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	j, err := l.find(id)
+	if err != nil {
+		return nil, err
+	}
+	return j.snapshot(), nil
+}
+
+func (j *localJob) snapshot() *JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := j.status
+	// Results and Design are write-once; sharing the slice is safe because
+	// terminal statuses are immutable.
+	return &st
+}
+
+// Result blocks until the job is terminal. See Runner.
+func (l *Local) Result(ctx context.Context, id JobID) (*JobStatus, error) {
+	j, err := l.find(id)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case <-j.done:
+		return j.snapshot(), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Watch streams the job's events: full replay, then live until terminal.
+// See Runner.
+func (l *Local) Watch(ctx context.Context, id JobID) (<-chan Event, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	j, err := l.find(id)
+	if err != nil {
+		return nil, err
+	}
+	out := make(chan Event)
+	go func() {
+		defer close(out)
+		next := 0
+		for {
+			j.mu.Lock()
+			pending := j.events[next:]
+			next = len(j.events)
+			update := j.update
+			terminal := j.status.State.Terminal()
+			j.mu.Unlock()
+			for _, ev := range pending {
+				select {
+				case out <- ev:
+				case <-ctx.Done():
+					return
+				}
+			}
+			if terminal && len(pending) == 0 {
+				return
+			}
+			if terminal {
+				continue // flush any events appended with the terminal state
+			}
+			select {
+			case <-update:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out, nil
+}
+
+// Cancel stops a queued or running job. See Runner.
+func (l *Local) Cancel(ctx context.Context, id JobID) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	j, err := l.find(id)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	state := j.status.State
+	if state == JobQueued {
+		// Still in the channel: mark it; the worker discards it on dequeue.
+		// The job stays terminal immediately, but its queue slot is only
+		// reclaimed at that dequeue — the JobsQueued gauge tracks slot
+		// occupancy, so it keeps counting the carcass until then.
+		j.status.State = JobCancelled
+		j.status.Error = context.Canceled.Error()
+		j.bump()
+		j.mu.Unlock()
+		j.cancel()
+		close(j.done)
+		l.mu.Lock()
+		l.metrics.JobsCancelled++
+		l.mu.Unlock()
+		l.retire(j)
+		return nil
+	}
+	j.mu.Unlock()
+	// Running: cancel the per-job context; the worker records the terminal
+	// state. Terminal: the cancel is a no-op on a spent context.
+	j.cancel()
+	return nil
+}
+
+// Metrics returns a counters snapshot.
+func (l *Local) Metrics() Metrics {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	m := l.metrics
+	m.CacheEntries = l.cacheLRU.Len()
+	return m
+}
+
+// Close stops accepting jobs and drains the queue: queued and running jobs
+// finish normally. The ctx bounds the wait — when it expires every remaining
+// job is cancelled and Close waits (briefly) for the pool to exit, returning
+// ctx.Err().
+func (l *Local) Close(ctx context.Context) error {
+	l.mu.Lock()
+	if !l.closed {
+		l.closed = true
+		close(l.queue)
+	}
+	jobs := make([]*localJob, 0, len(l.jobs))
+	for _, j := range l.jobs {
+		jobs = append(jobs, j)
+	}
+	l.mu.Unlock()
+	select {
+	case <-l.idle:
+		return nil
+	case <-ctx.Done():
+		for _, j := range jobs {
+			j.cancel()
+		}
+		<-l.idle
+		return ctx.Err()
+	}
+}
+
+// bump wakes Watch subscribers; call with j.mu held.
+func (j *localJob) bump() {
+	close(j.update)
+	j.update = make(chan struct{})
+}
+
+// publish appends one event to the job's log.
+func (j *localJob) publish(ev Event) {
+	j.mu.Lock()
+	j.events = append(j.events, ev)
+	j.bump()
+	j.mu.Unlock()
+}
+
+// runJob executes one dequeued job on the calling worker.
+func (l *Local) runJob(j *localJob) {
+	j.mu.Lock()
+	if j.status.State != JobQueued { // cancelled while waiting
+		j.mu.Unlock()
+		l.mu.Lock()
+		l.metrics.JobsQueued-- // its queue slot is free now
+		l.mu.Unlock()
+		return
+	}
+	j.status.State = JobRunning
+	j.bump()
+	j.mu.Unlock()
+	l.mu.Lock()
+	l.metrics.JobsQueued--
+	l.metrics.JobsRunning++
+	l.mu.Unlock()
+
+	design, results, err := l.execute(j)
+
+	j.mu.Lock()
+	j.status.Design = design // set even on failure — mapping may have finished
+	switch {
+	case err == nil:
+		j.status.State = JobDone
+		j.status.Results = results
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.status.State = JobCancelled
+		j.status.Error = err.Error()
+	default:
+		j.status.State = JobFailed
+		j.status.Error = err.Error()
+	}
+	state := j.status.State
+	j.bump()
+	j.mu.Unlock()
+	j.cancel()
+	close(j.done)
+
+	l.mu.Lock()
+	l.metrics.JobsRunning--
+	switch state {
+	case JobDone:
+		l.metrics.JobsDone++
+		for _, r := range results {
+			l.metrics.STAEvals += r.STAEvals
+			l.metrics.CandEvals += r.CandEvals
+			l.metrics.SimNs += r.SimTime.Nanoseconds()
+		}
+		l.cachePut(j.key, &cacheEntry{key: j.key, design: design, results: results})
+	case JobCancelled:
+		l.metrics.JobsCancelled++
+	default:
+		l.metrics.JobsFailed++
+	}
+	l.mu.Unlock()
+	l.retire(j)
+}
+
+// stripResults copies results without their scaled Circuits, so neither the
+// job history nor the cache pins netlists the wire never serves. Every
+// JobStatus therefore carries nil Circuits — local and wire-decoded results
+// have the same shape.
+func stripResults(results []*FlowResult) []*FlowResult {
+	out := make([]*FlowResult, len(results))
+	for i, r := range results {
+		c := *r
+		c.Circuit = nil
+		out[i] = &c
+	}
+	return out
+}
+
+// retire frees a terminal job's input (the parsed network and any inline
+// BLIF text are dead weight once the run is over) and enforces the
+// job-history bound. Call without l.mu held, after the terminal state is
+// published.
+func (l *Local) retire(j *localJob) {
+	j.net = nil
+	j.spec.BLIF = ""
+	l.mu.Lock()
+	l.retired = append(l.retired, j.status.ID)
+	for len(l.retired) > l.history {
+		delete(l.jobs, l.retired[0])
+		l.retired = l.retired[1:]
+	}
+	l.mu.Unlock()
+}
+
+// execute runs the job's flow under its per-job context: prepare (map,
+// relax, measure), then the requested algorithms in order. Progress events
+// land on the job's log via the observer. Everything published — events,
+// status results, cache entries — is Circuit-stripped: the job surface is
+// transport-shaped, and scaled netlists must not pin memory in the event
+// log or job history (in-process callers who want the netlist use Flow).
+func (l *Local) execute(j *localJob) (*DesignInfo, []*FlowResult, error) {
+	flow := New(
+		FromConfig(j.spec.Config),
+		WithAlgorithms(j.spec.algorithms()...),
+		WithObserver(func(ev Event) {
+			if er, ok := ev.(EventResult); ok && er.Result != nil && er.Result.Circuit != nil {
+				res := *er.Result
+				res.Circuit = nil
+				er.Result = &res
+				ev = er
+			}
+			j.publish(ev)
+		}),
+	)
+	d, err := flow.Prepare(j.ctx, j.net)
+	if err != nil {
+		return nil, nil, err
+	}
+	design := &DesignInfo{
+		Name: d.Name, Gates: d.Circuit.NumLiveGates(),
+		MinDelay: d.MinDelay, Tspec: d.Tspec, OrgPower: d.OrgPower,
+	}
+	results, err := flow.Run(j.ctx, d)
+	if err != nil {
+		return design, nil, err
+	}
+	return design, stripResults(results), nil
+}
+
+// cacheGet looks a key up and marks it most recent; call with l.mu held.
+func (l *Local) cacheGet(key string) *cacheEntry {
+	if l.cacheLimit == 0 {
+		return nil
+	}
+	el, ok := l.cache[key]
+	if !ok {
+		return nil
+	}
+	l.cacheLRU.MoveToFront(el)
+	return el.Value.(*cacheEntry)
+}
+
+// cachePut inserts a result, evicting the least-recently-used entry past the
+// limit; call with l.mu held.
+func (l *Local) cachePut(key string, entry *cacheEntry) {
+	if l.cacheLimit == 0 {
+		return
+	}
+	if el, ok := l.cache[key]; ok {
+		l.cacheLRU.MoveToFront(el)
+		el.Value = entry
+		return
+	}
+	l.cache[key] = l.cacheLRU.PushFront(entry)
+	for l.cacheLRU.Len() > l.cacheLimit {
+		oldest := l.cacheLRU.Back()
+		l.cacheLRU.Remove(oldest)
+		delete(l.cache, oldest.Value.(*cacheEntry).key)
+	}
+}

@@ -1,0 +1,400 @@
+package dualvdd_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"dualvdd"
+)
+
+// mustClose drains a Local with a generous bound.
+func mustClose(t *testing.T, l *dualvdd.Local) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := l.Close(ctx); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+// sameFlowResult compares every deterministic field bit-for-bit; wall clocks
+// and the local-only Circuit are excluded.
+func sameFlowResult(t *testing.T, label string, got, want *dualvdd.FlowResult) {
+	t.Helper()
+	if got.Algorithm != want.Algorithm || got.Gates != want.Gates ||
+		got.LowGates != want.LowGates || got.LCs != want.LCs || got.Sized != want.Sized ||
+		got.STAEvals != want.STAEvals || got.CandEvals != want.CandEvals {
+		t.Fatalf("%s: counters differ:\n got %+v\nwant %+v", label, got, want)
+	}
+	for _, f := range []struct {
+		name      string
+		got, want float64
+	}{
+		{"Power", got.Power, want.Power},
+		{"ImprovePct", got.ImprovePct, want.ImprovePct},
+		{"LowRatio", got.LowRatio, want.LowRatio},
+		{"AreaIncrease", got.AreaIncrease, want.AreaIncrease},
+	} {
+		if math.Float64bits(f.got) != math.Float64bits(f.want) {
+			t.Fatalf("%s: %s differs: %v vs %v", label, f.name, f.got, f.want)
+		}
+	}
+}
+
+func TestLocalRunnerMatchesFlow(t *testing.T) {
+	ctx := context.Background()
+	l := dualvdd.NewLocal(dualvdd.LocalWorkers(2))
+	defer mustClose(t, l)
+
+	id, err := l.Submit(ctx, dualvdd.BenchmarkJob("x2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := l.Result(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != dualvdd.JobDone {
+		t.Fatalf("job ended %s: %s", st.State, st.Error)
+	}
+	if st.Design == nil || st.Design.Name != "x2" || st.Design.Gates == 0 {
+		t.Fatalf("design info missing: %+v", st.Design)
+	}
+
+	flow := dualvdd.New()
+	d, err := flow.PrepareBenchmark(ctx, "x2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := flow.Run(ctx, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Results) != len(want) {
+		t.Fatalf("runner returned %d results, flow %d", len(st.Results), len(want))
+	}
+	for i := range want {
+		sameFlowResult(t, want[i].Algorithm, st.Results[i], want[i])
+	}
+}
+
+func TestLocalWatchStreamsAndReplays(t *testing.T) {
+	ctx := context.Background()
+	l := dualvdd.NewLocal()
+	defer mustClose(t, l)
+
+	id, err := l.Submit(ctx, dualvdd.BenchmarkJob("mux", dualvdd.WithAlgorithms(dualvdd.AlgoCVS, dualvdd.AlgoDscale)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func() map[string]int {
+		events, err := l.Watch(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := map[string]int{}
+		var last dualvdd.Event
+		for ev := range events {
+			counts[dualvdd.EventKind(ev)]++
+			last = ev
+		}
+		if _, ok := last.(dualvdd.EventResult); !ok {
+			t.Fatalf("stream ended on %T, want EventResult", last)
+		}
+		return counts
+	}
+	live := count()
+	if live[dualvdd.EventKindMapped] != 1 || live[dualvdd.EventKindResult] != 2 {
+		t.Fatalf("live stream counts: %v", live)
+	}
+	// A second Watch after completion replays the identical history.
+	replay := count()
+	for kind, n := range live {
+		if replay[kind] != n {
+			t.Fatalf("replay %s = %d, live %d", kind, replay[kind], n)
+		}
+	}
+}
+
+func TestLocalCacheAnswersIdenticalSubmissions(t *testing.T) {
+	ctx := context.Background()
+	l := dualvdd.NewLocal()
+	defer mustClose(t, l)
+
+	job := dualvdd.BenchmarkJob("z4ml")
+	id1, err := l.Submit(ctx, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := l.Result(ctx, id1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatal("first submission claims a cache hit")
+	}
+	before := l.Metrics()
+	if before.CacheHits != 0 || before.CacheMisses != 1 || before.CacheEntries != 1 {
+		t.Fatalf("metrics after miss: %+v", before)
+	}
+
+	// The identical job again — answered from the cache, no recomputation.
+	id2, err := l.Submit(ctx, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 == id1 {
+		t.Fatal("cache hit reused the job ID")
+	}
+	second, err := l.Result(ctx, id2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.State != dualvdd.JobDone || !second.Cached {
+		t.Fatalf("cached job: state %s cached %v", second.State, second.Cached)
+	}
+	for i := range first.Results {
+		sameFlowResult(t, first.Results[i].Algorithm, second.Results[i], first.Results[i])
+	}
+	after := l.Metrics()
+	if after.CacheHits != 1 {
+		t.Fatalf("cache hits = %d, want 1", after.CacheHits)
+	}
+	if after.STAEvals != before.STAEvals || after.CandEvals != before.CandEvals || after.SimNs != before.SimNs {
+		t.Fatalf("cache hit recomputed: before %+v after %+v", before, after)
+	}
+
+	// The job surface never carries scaled netlists — neither the history
+	// nor the cache may pin them, and local statuses match wire-decoded
+	// ones in shape.
+	if first.Results[0].Circuit != nil || second.Results[0].Circuit != nil {
+		t.Fatal("job status retained a scaled circuit")
+	}
+
+	// A different seed is a different content address.
+	id3, err := l.Submit(ctx, dualvdd.BenchmarkJob("z4ml", dualvdd.WithSeed(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	third, err := l.Result(ctx, id3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Cached {
+		t.Fatal("different config hit the cache")
+	}
+}
+
+func TestJobKeyCanonicalization(t *testing.T) {
+	// Formatting does not defeat the content address: the same model with
+	// different layout hashes identically. (Cube order stays significant —
+	// it can steer the technology mapper, so folding it away could serve a
+	// wrong cached result.)
+	a := ".model t\n.inputs a b\n.outputs f\n.names a b f\n11 1\n10 1\n.end\n"
+	b := ".model t\n.inputs a \\\n  b\n.outputs f\n\n.names a b f\n11 1\n10 1\n.end\n"
+	ka, err := dualvdd.BLIFJob(a).Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := dualvdd.BLIFJob(b).Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ka != kb {
+		t.Fatalf("equivalent models hash apart:\n%s\n%s", ka, kb)
+	}
+	// Nil algorithms means all three — same key as the explicit list.
+	full := dualvdd.BenchmarkJob("x2", dualvdd.WithAlgorithms(dualvdd.Algorithms()...))
+	none := dualvdd.BenchmarkJob("x2")
+	kf, _ := full.Key()
+	kn, _ := none.Key()
+	if kf != kn {
+		t.Fatal("empty algorithm list hashes apart from the explicit default")
+	}
+	// Config changes the address.
+	ks, err := dualvdd.BenchmarkJob("x2", dualvdd.WithSeed(9)).Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks == kn {
+		t.Fatal("seed change kept the same key")
+	}
+	// SimWorkers is guaranteed not to change results, so it must not split
+	// the content address.
+	kw, err := dualvdd.BenchmarkJob("x2", dualvdd.WithSimWorkers(4)).Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kw != kn {
+		t.Fatal("SimWorkers split the content address despite the bit-identical guarantee")
+	}
+}
+
+// slowJob is a des run stretched with a large simulation so the test can
+// observe queued/running states deterministically.
+func slowJob() dualvdd.Job {
+	return dualvdd.BenchmarkJob("des", dualvdd.WithSimWords(4096))
+}
+
+// waitState polls until the job reaches the wanted state.
+func waitState(t *testing.T, l *dualvdd.Local, id dualvdd.JobID, want dualvdd.JobState) {
+	t.Helper()
+	deadline := time.Now().Add(time.Minute)
+	for time.Now().Before(deadline) {
+		st, err := l.Status(context.Background(), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s", id, want)
+}
+
+func TestLocalQueueBoundAndCancel(t *testing.T) {
+	ctx := context.Background()
+	l := dualvdd.NewLocal(dualvdd.LocalWorkers(1), dualvdd.LocalQueueDepth(1), dualvdd.LocalCacheEntries(0))
+	defer func() {
+		cctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+		defer cancel()
+		_ = l.Close(cctx) // cancels the leftovers; expiry expected
+	}()
+
+	running, err := l.Submit(ctx, slowJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, l, running, dualvdd.JobRunning)
+
+	// One slot in the queue…
+	queued, err := l.Submit(ctx, slowJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// …and the next submission bounces.
+	if _, err := l.Submit(ctx, slowJob()); !errors.Is(err, dualvdd.ErrQueueFull) {
+		t.Fatalf("overfull submit returned %v, want ErrQueueFull", err)
+	}
+
+	// Cancel the queued job: terminal immediately, without running.
+	if err := l.Cancel(ctx, queued); err != nil {
+		t.Fatal(err)
+	}
+	st, err := l.Result(ctx, queued)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != dualvdd.JobCancelled {
+		t.Fatalf("cancelled queued job is %s", st.State)
+	}
+
+	// Cancel the running job: its per-job context stops the loops.
+	if err := l.Cancel(ctx, running); err != nil {
+		t.Fatal(err)
+	}
+	st, err = l.Result(ctx, running)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != dualvdd.JobCancelled {
+		t.Fatalf("cancelled running job is %s (err %q)", st.State, st.Error)
+	}
+
+	m := l.Metrics()
+	if m.JobsCancelled != 2 {
+		t.Fatalf("cancelled counter = %d, want 2", m.JobsCancelled)
+	}
+}
+
+func TestLocalCloseDrainsQueuedJobs(t *testing.T) {
+	ctx := context.Background()
+	l := dualvdd.NewLocal(dualvdd.LocalWorkers(1), dualvdd.LocalQueueDepth(8))
+	var ids []dualvdd.JobID
+	for i := 0; i < 3; i++ {
+		id, err := l.Submit(ctx, dualvdd.BenchmarkJob("z4ml", dualvdd.WithSeed(uint64(i+1))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	mustClose(t, l)
+	// Every job submitted before Close finished normally.
+	for _, id := range ids {
+		st, err := l.Status(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != dualvdd.JobDone {
+			t.Fatalf("job %s drained to %s (%s)", id, st.State, st.Error)
+		}
+	}
+	if _, err := l.Submit(ctx, dualvdd.BenchmarkJob("x2")); !errors.Is(err, dualvdd.ErrClosed) {
+		t.Fatalf("post-close submit returned %v, want ErrClosed", err)
+	}
+}
+
+func TestLocalJobHistoryEviction(t *testing.T) {
+	ctx := context.Background()
+	l := dualvdd.NewLocal(dualvdd.LocalJobHistory(1), dualvdd.LocalCacheEntries(0))
+	defer mustClose(t, l)
+
+	first, err := l.Submit(ctx, dualvdd.BenchmarkJob("z4ml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Result(ctx, first); err != nil {
+		t.Fatal(err)
+	}
+	second, err := l.Submit(ctx, dualvdd.BenchmarkJob("z4ml", dualvdd.WithSeed(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Result(ctx, second); err != nil {
+		t.Fatal(err)
+	}
+	// The bound retains only the most recent terminal job.
+	if _, err := l.Status(ctx, first); !errors.Is(err, dualvdd.ErrJobNotFound) {
+		t.Fatalf("evicted job returned %v, want ErrJobNotFound", err)
+	}
+	if st, err := l.Status(ctx, second); err != nil || st.State != dualvdd.JobDone {
+		t.Fatalf("recent job: %v / %+v", err, st)
+	}
+}
+
+func TestLocalUnknownJobAndBadJob(t *testing.T) {
+	ctx := context.Background()
+	l := dualvdd.NewLocal()
+	defer mustClose(t, l)
+
+	for name, call := range map[string]func() error{
+		"status": func() error { _, err := l.Status(ctx, "nonesuch"); return err },
+		"result": func() error { _, err := l.Result(ctx, "nonesuch"); return err },
+		"watch":  func() error { _, err := l.Watch(ctx, "nonesuch"); return err },
+		"cancel": func() error { return l.Cancel(ctx, "nonesuch") },
+	} {
+		if err := call(); !errors.Is(err, dualvdd.ErrJobNotFound) {
+			t.Fatalf("%s on unknown id returned %v, want ErrJobNotFound", name, err)
+		}
+	}
+
+	if _, err := l.Submit(ctx, dualvdd.Job{}); err == nil {
+		t.Fatal("empty job accepted")
+	}
+	both := dualvdd.Job{Benchmark: "x2", BLIF: ".model x\n.end\n", Config: dualvdd.DefaultConfig()}
+	if _, err := l.Submit(ctx, both); err == nil {
+		t.Fatal("job with both inputs accepted")
+	}
+	bad := dualvdd.BenchmarkJob("x2")
+	bad.Algorithms = []dualvdd.Algorithm{"Qscale"}
+	if _, err := l.Submit(ctx, bad); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if _, err := l.Submit(ctx, dualvdd.BenchmarkJob("nonesuch")); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}

@@ -1,0 +1,262 @@
+package dualvdd
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+
+	"dualvdd/internal/blif"
+	"dualvdd/internal/logic"
+	"dualvdd/internal/mcnc"
+)
+
+// Runner is the transport-agnostic job surface of the package: submit a Job,
+// stream its progress, collect its result, cancel it. Local runs jobs
+// in-process on a bounded worker pool; the client package implements the same
+// interface over HTTP against a server — a program switches between the two
+// by swapping one constructor.
+//
+// All methods are safe for concurrent use. The ctx parameter bounds the call
+// (a Submit that cannot queue, a Result that waits), never the job itself:
+// jobs run under their own per-job context and are stopped with Cancel.
+type Runner interface {
+	// Submit validates and enqueues a job, returning its ID. A content-hit
+	// against the runner's result cache completes the job immediately.
+	// Returns ErrQueueFull when the bounded queue has no room and ErrClosed
+	// after a shutdown began.
+	Submit(ctx context.Context, job Job) (JobID, error)
+	// Status reports the job's current state without waiting.
+	Status(ctx context.Context, id JobID) (*JobStatus, error)
+	// Watch streams the job's progress events: the full history so far is
+	// replayed first, then live events follow until a terminal state closes
+	// the channel. A done ctx — or, on a remote transport, a severed
+	// connection — also closes it, so a closed channel means "stream over",
+	// not "job done": confirm the outcome with Result or Status.
+	Watch(ctx context.Context, id JobID) (<-chan Event, error)
+	// Result waits until the job reaches a terminal state and returns its
+	// final status. A done ctx abandons the wait with ctx.Err() — the job
+	// keeps running.
+	Result(ctx context.Context, id JobID) (*JobStatus, error)
+	// Cancel stops a queued or running job. Cancelling a terminal job is a
+	// no-op.
+	Cancel(ctx context.Context, id JobID) error
+}
+
+// Sentinel errors of the Runner contract. The client package maps HTTP
+// status codes back onto these, so errors.Is works across transports.
+var (
+	// ErrJobNotFound reports an unknown JobID.
+	ErrJobNotFound = errors.New("dualvdd: job not found")
+	// ErrQueueFull reports a bounded queue with no room; the submission was
+	// not accepted and may be retried.
+	ErrQueueFull = errors.New("dualvdd: job queue full")
+	// ErrClosed reports a runner that has begun shutting down.
+	ErrClosed = errors.New("dualvdd: runner closed")
+)
+
+// JobID identifies a submitted job within one runner.
+type JobID string
+
+// JobState is a point in the job lifecycle:
+//
+//	queued ──► running ──► done
+//	   │           │   └──► failed
+//	   └───────────┴──────► cancelled
+//
+// Cached submissions are born done.
+type JobState string
+
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCancelled
+}
+
+// Job is one unit of work for a Runner: a circuit (a named MCNC benchmark or
+// a BLIF model) plus the fully resolved flow configuration. Jobs are plain
+// data — everything a Runner needs crosses process boundaries, which is what
+// makes the interface transport-agnostic. Build one with BenchmarkJob or
+// BLIFJob; the functional options they accept are the same ones Flow takes
+// (WithObserver is meaningless here and ignored — Watch is the observation
+// channel).
+type Job struct {
+	// Benchmark names one of the 39 MCNC stand-in circuits. Exactly one of
+	// Benchmark and BLIF must be set.
+	Benchmark string `json:"benchmark,omitempty"`
+	// BLIF is a technology-independent .names-form BLIF model.
+	BLIF string `json:"blif,omitempty"`
+	// Config is the resolved flow configuration.
+	Config Config `json:"config"`
+	// Algorithms selects which algorithms run, in order; empty means all
+	// three in the paper's order.
+	Algorithms []Algorithm `json:"algorithms,omitempty"`
+}
+
+// BenchmarkJob builds a Job for a named MCNC benchmark under the paper's
+// default configuration plus options.
+func BenchmarkJob(name string, opts ...Option) Job {
+	f := New(opts...)
+	return Job{Benchmark: name, Config: f.Config(), Algorithms: f.Algorithms()}
+}
+
+// BLIFJob builds a Job for a BLIF model under the paper's default
+// configuration plus options.
+func BLIFJob(model string, opts ...Option) Job {
+	f := New(opts...)
+	return Job{BLIF: model, Config: f.Config(), Algorithms: f.Algorithms()}
+}
+
+// Validate checks the job is well-formed without touching its circuit.
+func (j Job) Validate() error {
+	if (j.Benchmark == "") == (j.BLIF == "") {
+		return errors.New("dualvdd: job needs exactly one of Benchmark or BLIF")
+	}
+	for _, a := range j.Algorithms {
+		switch a {
+		case AlgoCVS, AlgoDscale, AlgoGscale:
+		default:
+			return fmt.Errorf("dualvdd: job names unknown algorithm %q", a)
+		}
+	}
+	return nil
+}
+
+// algorithms resolves the empty-means-all default.
+func (j Job) algorithms() []Algorithm {
+	if len(j.Algorithms) == 0 {
+		return Algorithms()
+	}
+	return append([]Algorithm(nil), j.Algorithms...)
+}
+
+// network materializes the job's input circuit.
+func (j Job) network() (*logic.Network, error) {
+	if j.Benchmark != "" {
+		return mcnc.Generate(j.Benchmark)
+	}
+	return blif.ParseNetwork(strings.NewReader(j.BLIF))
+}
+
+// Key returns the job's content address: a hex SHA-256 over the canonical
+// BLIF of the input network, the resolved Config and the resolved algorithm
+// list. Two jobs with the same key compute the same results, so a runner may
+// answer one from the other's cached FlowResults. Canonicalization goes
+// through parse → deterministic re-emit, so formatting differences (layout,
+// whitespace, continuation lines) do not defeat the cache, and SimWorkers —
+// a pure scheduling knob with a bit-identical-results guarantee — is
+// excluded. Anything that can steer the flow stays significant: signal
+// names, node and cube order, and of course the netlist itself.
+func (j Job) Key() (string, error) {
+	key, _, err := j.key()
+	return key, err
+}
+
+// key computes the content address and returns the parsed network alongside,
+// so Submit materializes the circuit exactly once.
+func (j Job) key() (string, *logic.Network, error) {
+	if err := j.Validate(); err != nil {
+		return "", nil, err
+	}
+	net, err := j.network()
+	if err != nil {
+		return "", nil, err
+	}
+	var canon bytes.Buffer
+	if err := blif.WriteNetwork(&canon, net); err != nil {
+		return "", nil, err
+	}
+	// SimWorkers is a scheduling knob with a bit-identical-results
+	// guarantee, so it must not split the content address.
+	hashCfg := j.Config
+	hashCfg.SimWorkers = 0
+	cfg, err := json.Marshal(hashCfg)
+	if err != nil {
+		return "", nil, err
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "dualvdd-job/1\n%s\n", cfg)
+	for _, a := range j.algorithms() {
+		fmt.Fprintf(h, "%s ", a)
+	}
+	h.Write([]byte{'\n'})
+	h.Write(canon.Bytes())
+	return hex.EncodeToString(h.Sum(nil)), net, nil
+}
+
+// DesignInfo is the serializable summary of a prepared design — what
+// EventMapped reports, kept on the job status so late watchers and remote
+// clients see it without replaying the stream.
+type DesignInfo struct {
+	// Name is the circuit name.
+	Name string `json:"name"`
+	// Gates is the number of live mapped gates.
+	Gates int `json:"gates"`
+	// MinDelay is the minimum-delay mapping's critical path (ns); Tspec the
+	// relaxed constraint handed to the algorithms.
+	MinDelay float64 `json:"min_delay_ns"`
+	Tspec    float64 `json:"tspec_ns"`
+	// OrgPower is the single-supply power in watts.
+	OrgPower float64 `json:"org_power_w"`
+}
+
+// JobStatus is a snapshot of one job. Terminal snapshots are immutable.
+type JobStatus struct {
+	ID    JobID    `json:"id"`
+	State JobState `json:"state"`
+	// Error holds the failure message of a failed or cancelled job.
+	Error string `json:"error,omitempty"`
+	// Cached reports that the job was answered from the result cache
+	// without recomputation.
+	Cached bool `json:"cached,omitempty"`
+	// Design summarizes the prepared circuit once mapping finished.
+	Design *DesignInfo `json:"design,omitempty"`
+	// Results holds one FlowResult per requested algorithm, in request
+	// order, once the job is done. Job results never carry a Circuit —
+	// local and wire-decoded statuses have the same shape; run the Flow
+	// directly when the scaled netlist itself is wanted.
+	Results []*FlowResult `json:"results,omitempty"`
+}
+
+// Metrics is a counters snapshot of a job service — what the server exposes
+// at /metricsz. Gauges (queued, running, cache entries) describe the moment;
+// the rest are monotonic totals since construction.
+type Metrics struct {
+	// JobsQueued and JobsRunning are current gauges.
+	JobsQueued  int `json:"jobs_queued"`
+	JobsRunning int `json:"jobs_running"`
+	// JobsDone, JobsFailed and JobsCancelled count terminal jobs; done
+	// includes cache hits.
+	JobsDone      int64 `json:"jobs_done"`
+	JobsFailed    int64 `json:"jobs_failed"`
+	JobsCancelled int64 `json:"jobs_cancelled"`
+	// CacheHits and CacheMisses count Submit-time cache lookups;
+	// CacheEntries is the current resident entry count.
+	CacheHits    int64 `json:"cache_hits"`
+	CacheMisses  int64 `json:"cache_misses"`
+	CacheEntries int   `json:"cache_entries"`
+	// STAEvals and CandEvals total the incremental-timing and Dscale
+	// candidate evaluations spent by completed runs; SimNs totals their
+	// logic-simulation wall clock. Cache hits add nothing — the triple is
+	// how a test proves "no recomputation".
+	STAEvals  int64 `json:"sta_evals"`
+	CandEvals int64 `json:"cand_evals"`
+	SimNs     int64 `json:"sim_ns"`
+}
+
+// MetricsProvider is implemented by runners that keep service counters
+// (Local does). The server's /metricsz endpoint type-asserts for it.
+type MetricsProvider interface {
+	Metrics() Metrics
+}

@@ -1,0 +1,210 @@
+// Package server exposes a dualvdd.Runner as an HTTP/JSON API — the network
+// face of the job service. It is a pure transport: every behavior (queue
+// bounds, cancellation, the content-addressed result cache) lives in the
+// Runner it wraps, usually a dualvdd.Local; the handlers only encode and
+// decode the wire schema shared with the client package via internal/report.
+//
+// Endpoints:
+//
+//	POST   /v1/jobs             submit a job (report.JobRequest) → 202 + JobResource
+//	GET    /v1/jobs/{id}        job status; ?wait=1 blocks until terminal
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /v1/jobs/{id}/events progress stream (SSE, one event envelope per frame)
+//	GET    /v1/benchmarks       the sorted MCNC suite
+//	GET    /healthz             liveness
+//	GET    /metricsz            counters snapshot (jobs, cache, sim+STA totals)
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"time"
+
+	"dualvdd"
+	"dualvdd/internal/report"
+)
+
+// Server turns a Runner into an http.Handler.
+type Server struct {
+	runner      dualvdd.Runner
+	mux         *http.ServeMux
+	waitTimeout time.Duration
+}
+
+// Option configures New.
+type Option func(*Server)
+
+// WithRequestTimeout bounds blocking requests: a ?wait=1 status poll returns
+// the current (possibly non-terminal) resource after this long, and every
+// SSE write must complete within it — a consumer that stops reading is cut,
+// while a healthy stream may run for as long as the job does. Zero means
+// the default of one minute. Clients loop; jobs are unaffected.
+func WithRequestTimeout(d time.Duration) Option {
+	return func(s *Server) {
+		if d > 0 {
+			s.waitTimeout = d
+		}
+	}
+}
+
+// New builds the HTTP surface over a runner.
+func New(r dualvdd.Runner, opts ...Option) *Server {
+	s := &Server{runner: r, waitTimeout: time.Minute}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST "+report.JobsPath, s.handleSubmit)
+	s.mux.HandleFunc("GET "+report.JobsPath+"/{id}", s.handleStatus)
+	s.mux.HandleFunc("DELETE "+report.JobsPath+"/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET "+report.JobsPath+"/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET "+report.BenchmarksPath, s.handleBenchmarks)
+	s.mux.HandleFunc("GET "+report.HealthPath, s.handleHealth)
+	s.mux.HandleFunc("GET "+report.MetricsPath, s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// writeJSON sends a JSON body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", report.ContentTypeJSON)
+	w.WriteHeader(status)
+	_ = report.WriteJSON(w, v)
+}
+
+// writeError maps a Runner error onto the HTTP status space. The client
+// package inverts this mapping, so errors.Is holds across the wire.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, dualvdd.ErrJobNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, dualvdd.ErrQueueFull):
+		status = http.StatusTooManyRequests
+	case errors.Is(err, dualvdd.ErrClosed):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	}
+	writeJSON(w, status, report.ErrorResponse{Error: err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req report.JobRequest
+	if err := report.DecodeJSON(r.Body, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, report.ErrorResponse{Error: "bad job request: " + err.Error()})
+		return
+	}
+	id, err := s.runner.Submit(r.Context(), req.Job())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	st, err := s.runner.Status(r.Context(), id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := dualvdd.JobID(r.PathValue("id"))
+	if r.URL.Query().Get("wait") != "" {
+		ctx, cancel := context.WithTimeout(r.Context(), s.waitTimeout)
+		defer cancel()
+		st, err := s.runner.Result(ctx, id)
+		if err == nil {
+			writeJSON(w, http.StatusOK, st)
+			return
+		}
+		// The wait window closed before the job did: fall through and
+		// report the current state so the client can poll again. Any other
+		// error is real.
+		if !errors.Is(err, context.DeadlineExceeded) || r.Context().Err() != nil {
+			writeError(w, err)
+			return
+		}
+	}
+	st, err := s.runner.Status(r.Context(), id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := dualvdd.JobID(r.PathValue("id"))
+	if err := s.runner.Cancel(r.Context(), id); err != nil {
+		writeError(w, err)
+		return
+	}
+	st, err := s.runner.Status(r.Context(), id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleEvents re-emits the job's typed event stream as SSE: one
+// `data: <envelope>` frame per event, exactly the dualvdd.MarshalEvent
+// encoding. The stream ends (connection close) when the job reaches a
+// terminal state; a late subscriber gets the full history replayed first.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := dualvdd.JobID(r.PathValue("id"))
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, report.ErrorResponse{Error: "streaming unsupported"})
+		return
+	}
+	events, err := s.runner.Watch(r.Context(), id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", report.ContentTypeSSE)
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	// Each frame gets a fresh write deadline: a stalled consumer (open
+	// connection, nobody reading) is cut after waitTimeout instead of
+	// pinning this handler and the Watch goroutine forever, but a live
+	// stream can outlast any job.
+	rc := http.NewResponseController(w)
+	for ev := range events {
+		b, err := dualvdd.MarshalEvent(ev)
+		if err != nil {
+			return
+		}
+		_ = rc.SetWriteDeadline(time.Now().Add(s.waitTimeout))
+		if _, err := w.Write(append(append([]byte("data: "), b...), '\n', '\n')); err != nil {
+			return
+		}
+		flusher.Flush()
+	}
+}
+
+func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, report.BenchmarksResponse{Benchmarks: dualvdd.Benchmarks()})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, report.HealthResponse{Status: "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	mp, ok := s.runner.(dualvdd.MetricsProvider)
+	if !ok {
+		writeJSON(w, http.StatusNotImplemented,
+			report.ErrorResponse{Error: "runner keeps no metrics"})
+		return
+	}
+	writeJSON(w, http.StatusOK, mp.Metrics())
+}

@@ -1,0 +1,242 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"dualvdd"
+	"dualvdd/client"
+	"dualvdd/server"
+)
+
+// newPair starts a Local runner behind an httptest server and returns the
+// runner, a connected client, and a cleanup-registered context.
+func newPair(t *testing.T, opts ...dualvdd.LocalOption) (*dualvdd.Local, *client.Client) {
+	t.Helper()
+	local := dualvdd.NewLocal(opts...)
+	ts := httptest.NewServer(server.New(local, server.WithRequestTimeout(5*time.Second)))
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		_ = local.Close(ctx)
+	})
+	c, err := client.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return local, c
+}
+
+// sameResult asserts every deterministic FlowResult field matches to the
+// bit; wall clocks and the local-only Circuit are excluded.
+func sameResult(t *testing.T, label string, got, want *dualvdd.FlowResult) {
+	t.Helper()
+	if got.Algorithm != want.Algorithm || got.Gates != want.Gates ||
+		got.LowGates != want.LowGates || got.LCs != want.LCs || got.Sized != want.Sized ||
+		got.STAEvals != want.STAEvals || got.CandEvals != want.CandEvals {
+		t.Fatalf("%s: counters differ:\n got %+v\nwant %+v", label, got, want)
+	}
+	for _, f := range []struct {
+		name      string
+		got, want float64
+	}{
+		{"Power", got.Power, want.Power},
+		{"ImprovePct", got.ImprovePct, want.ImprovePct},
+		{"LowRatio", got.LowRatio, want.LowRatio},
+		{"AreaIncrease", got.AreaIncrease, want.AreaIncrease},
+	} {
+		if math.Float64bits(f.got) != math.Float64bits(f.want) {
+			t.Fatalf("%s: %s differs across the wire: %v vs %v", label, f.name, f.got, f.want)
+		}
+	}
+}
+
+// TestEndToEndBitIdenticalAndCached is the acceptance test of the tentpole:
+// for three MCNC circuits, a job submitted through the HTTP client returns
+// FlowResult rows bit-identical to a local Flow run with the same seed and
+// options, and resubmitting the identical job is answered from the cache —
+// the hit counter increments and the sim/STA eval totals stay frozen.
+func TestEndToEndBitIdenticalAndCached(t *testing.T) {
+	ctx := context.Background()
+	local, c := newPair(t, dualvdd.LocalWorkers(2))
+
+	for _, bench := range []string{"x2", "mux", "z4ml"} {
+		opts := []dualvdd.Option{dualvdd.WithSeed(1)}
+		job := dualvdd.BenchmarkJob(bench, opts...)
+
+		id, err := c.Submit(ctx, job)
+		if err != nil {
+			t.Fatalf("%s: submit: %v", bench, err)
+		}
+		remote, err := c.Result(ctx, id)
+		if err != nil {
+			t.Fatalf("%s: result: %v", bench, err)
+		}
+		if remote.State != dualvdd.JobDone {
+			t.Fatalf("%s: job ended %s: %s", bench, remote.State, remote.Error)
+		}
+		if remote.Cached {
+			t.Fatalf("%s: first submission claims a cache hit", bench)
+		}
+
+		flow := dualvdd.New(opts...)
+		d, err := flow.PrepareBenchmark(ctx, bench)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := flow.Run(ctx, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(remote.Results) != len(want) {
+			t.Fatalf("%s: remote %d results, local %d", bench, len(remote.Results), len(want))
+		}
+		for i := range want {
+			sameResult(t, bench+"/"+want[i].Algorithm, remote.Results[i], want[i])
+		}
+		if remote.Design == nil || remote.Design.Name != bench ||
+			math.Float64bits(remote.Design.OrgPower) != math.Float64bits(d.OrgPower) {
+			t.Fatalf("%s: design info drifted: %+v", bench, remote.Design)
+		}
+
+		// Resubmit the identical job: answered from the cache without
+		// recomputation.
+		before := local.Metrics()
+		id2, err := c.Submit(ctx, job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cached, err := c.Result(ctx, id2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cached.State != dualvdd.JobDone || !cached.Cached {
+			t.Fatalf("%s: resubmission state %s cached %v", bench, cached.State, cached.Cached)
+		}
+		for i := range want {
+			sameResult(t, bench+"/cached/"+want[i].Algorithm, cached.Results[i], want[i])
+		}
+		after := local.Metrics()
+		if after.CacheHits != before.CacheHits+1 {
+			t.Fatalf("%s: cache hits %d → %d, want +1", bench, before.CacheHits, after.CacheHits)
+		}
+		if after.STAEvals != before.STAEvals || after.CandEvals != before.CandEvals ||
+			after.SimNs != before.SimNs {
+			t.Fatalf("%s: cache hit recomputed: before %+v after %+v", bench, before, after)
+		}
+	}
+
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.JobsDone != 6 || m.CacheHits != 3 || m.CacheMisses != 3 {
+		t.Fatalf("metrics over the wire: %+v", m)
+	}
+}
+
+func TestEndToEndEventStream(t *testing.T) {
+	ctx := context.Background()
+	_, c := newPair(t)
+
+	id, err := c.Submit(ctx, dualvdd.BenchmarkJob("b9"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := c.Watch(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	first, last := "", ""
+	for ev := range events {
+		kind := dualvdd.EventKind(ev)
+		if first == "" {
+			first = kind
+		}
+		last = kind
+		counts[kind]++
+	}
+	if first != dualvdd.EventKindMapped {
+		t.Fatalf("stream opened with %q, want mapped", first)
+	}
+	if last != dualvdd.EventKindResult || counts[dualvdd.EventKindResult] != 3 {
+		t.Fatalf("stream ended %q with %d results, want 3: %v", last, counts[dualvdd.EventKindResult], counts)
+	}
+	if counts[dualvdd.EventKindMove] == 0 || counts[dualvdd.EventKindRoundDone] == 0 {
+		t.Fatalf("no per-move/per-round progress crossed the wire: %v", counts)
+	}
+	// The result events carry the same rows the job resource reports.
+	st, err := c.Result(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Results) != 3 {
+		t.Fatalf("job resource has %d results", len(st.Results))
+	}
+}
+
+func TestBenchmarksEndpointSortedStable(t *testing.T) {
+	ctx := context.Background()
+	_, c := newPair(t)
+	got, err := c.Benchmarks(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, dualvdd.Benchmarks()) {
+		t.Fatalf("server benchmark list diverges from dualvdd.Benchmarks():\n%v", got)
+	}
+	if len(got) != 39 {
+		t.Fatalf("benchmark list has %d entries, want 39", len(got))
+	}
+}
+
+func TestErrorMappingAcrossTheWire(t *testing.T) {
+	ctx := context.Background()
+	_, c := newPair(t)
+
+	if _, err := c.Status(ctx, "nonesuch"); !errors.Is(err, dualvdd.ErrJobNotFound) {
+		t.Fatalf("unknown id returned %v, want ErrJobNotFound", err)
+	}
+	if err := c.Cancel(ctx, "nonesuch"); !errors.Is(err, dualvdd.ErrJobNotFound) {
+		t.Fatalf("cancel unknown id returned %v, want ErrJobNotFound", err)
+	}
+	if _, err := c.Watch(ctx, "nonesuch"); !errors.Is(err, dualvdd.ErrJobNotFound) {
+		t.Fatalf("watch unknown id returned %v, want ErrJobNotFound", err)
+	}
+	if _, err := c.Submit(ctx, dualvdd.BenchmarkJob("nonesuch")); err == nil {
+		t.Fatal("unknown benchmark accepted over the wire")
+	}
+	if _, err := c.Submit(ctx, dualvdd.Job{Config: dualvdd.DefaultConfig()}); err == nil {
+		t.Fatal("empty job accepted over the wire")
+	}
+	if err := c.Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCancelOverHTTP(t *testing.T) {
+	ctx := context.Background()
+	_, c := newPair(t)
+
+	id, err := c.Submit(ctx, dualvdd.BenchmarkJob("des", dualvdd.WithSimWords(4096)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Cancel(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Result(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != dualvdd.JobCancelled {
+		t.Fatalf("cancelled job ended %s (%s)", st.State, st.Error)
+	}
+}
