@@ -63,6 +63,9 @@ func New(baseURL string, opts ...Option) (*Client, error) {
 
 var _ dualvdd.Runner = (*Client)(nil)
 
+// BaseURL returns the server base URL the client was built against.
+func (c *Client) BaseURL() string { return c.base.String() }
+
 // endpoint joins the base URL with a path and optional query.
 func (c *Client) endpoint(path, query string) string {
 	u := *c.base

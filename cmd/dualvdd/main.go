@@ -14,6 +14,12 @@
 // the client package or plain curl; see the server package for endpoints):
 //
 //	dualvdd serve -listen 127.0.0.1:8080 -workers 4 -queue-depth 64
+//
+// The sweep subcommand explores the design space: a grid of (VDDH, VDDL,
+// slack, sim words, algorithm set) points per circuit, executed in-process
+// or against a remote serve, with per-circuit Pareto extraction:
+//
+//	dualvdd sweep -bench rot,C7552,des -vddl 3.0:4.5:0.25 -pareto -out csv
 package main
 
 import (
@@ -29,6 +35,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "serve" {
 		runServe(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "sweep" {
+		runSweep(os.Args[2:])
 		return
 	}
 	def := dualvdd.DefaultConfig()

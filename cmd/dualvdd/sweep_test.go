@@ -1,0 +1,111 @@
+package main
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"dualvdd"
+)
+
+func TestExpandRange(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []float64
+	}{
+		{"1.0:3.0:0.25", []float64{1.0, 1.25, 1.5, 1.75, 2.0, 2.25, 2.5, 2.75, 3.0}},
+		{"4.3:4.3:0.1", []float64{4.3}},
+		{"3.1:4.7:0.2", []float64{3.1, 3.3, 3.5, 3.7, 3.9, 4.1, 4.3, 4.5, 4.7}},
+		{"1:2:0.5", []float64{1, 1.5, 2}},
+		// The grid walk accumulates one ulp of error before reaching hi
+		// (3.05+8×0.1 < 3.85); the endpoint must still be exactly 3.85.
+		{"3.05:3.85:0.1", []float64{3.05, 3.15, 3.25, 3.35, 3.45, 3.55, 3.65, 3.75, 3.85}},
+		// hi off the grid: the walk stops at the last on-grid point — it is
+		// never silently replaced by hi.
+		{"3.0:4.0:0.3", []float64{3.0, 3.3, 3.6, 3.9}},
+		{"1:1.4:0.5", []float64{1}},
+	}
+	for _, tc := range cases {
+		got, err := expandRange(tc.in)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.in, err)
+		}
+		if len(got) != len(tc.want) {
+			t.Fatalf("%q expanded to %v, want %v", tc.in, got, tc.want)
+		}
+		for i := range got {
+			if math.Abs(got[i]-tc.want[i]) > 1e-9 {
+				t.Fatalf("%q expanded to %v, want %v", tc.in, got, tc.want)
+			}
+		}
+		// Endpoints are exact, not accumulated-error approximations.
+		if got[0] != tc.want[0] || got[len(got)-1] != tc.want[len(tc.want)-1] {
+			t.Fatalf("%q endpoints %v..%v drifted", tc.in, got[0], got[len(got)-1])
+		}
+	}
+}
+
+func TestExpandRangeRejectsDegenerate(t *testing.T) {
+	for _, in := range []string{
+		"3.0:1.0:0.25", // inverted
+		"1.0:3.0:0",    // zero step
+		"1.0:3.0:-0.5", // negative step
+		"1.0:3.0",      // malformed
+		"a:b:c",
+		"1.0:3.0:0.5:9",
+		"1:2:NaN", // non-finite: would make the point count int(NaN)
+		"1:2:Inf", // non-finite: the walk would never terminate
+		"NaN:2:0.5",
+		"1:Inf:0.5",
+	} {
+		if _, err := expandRange(in); err == nil {
+			t.Fatalf("range %q accepted", in)
+		}
+	}
+}
+
+func TestParseFloatAxis(t *testing.T) {
+	if got, err := parseFloatAxis(""); err != nil || got != nil {
+		t.Fatalf("empty axis: %v, %v", got, err)
+	}
+	got, err := parseFloatAxis("4.3, 4.1,3.9")
+	if err != nil || !reflect.DeepEqual(got, []float64{4.3, 4.1, 3.9}) {
+		t.Fatalf("comma list: %v, %v", got, err)
+	}
+	if _, err := parseFloatAxis("4.3,oops"); err == nil {
+		t.Fatal("bad value accepted")
+	}
+	if _, err := parseFloatAxis(","); err == nil {
+		t.Fatal("empty list accepted")
+	}
+}
+
+func TestParseIntAxis(t *testing.T) {
+	got, err := parseIntAxis("64:256:64")
+	if err != nil || !reflect.DeepEqual(got, []int{64, 128, 192, 256}) {
+		t.Fatalf("int range: %v, %v", got, err)
+	}
+	if _, err := parseIntAxis("64.5"); err == nil {
+		t.Fatal("fractional int accepted")
+	}
+}
+
+func TestParseAlgoSets(t *testing.T) {
+	got, err := parseAlgoSets("cvs+dscale+gscale,GSCALE")
+	want := [][]dualvdd.Algorithm{
+		{dualvdd.AlgoCVS, dualvdd.AlgoDscale, dualvdd.AlgoGscale},
+		{dualvdd.AlgoGscale},
+	}
+	if err != nil || !reflect.DeepEqual(got, want) {
+		t.Fatalf("sets: %v, %v", got, err)
+	}
+	if got, err := parseAlgoSets(""); err != nil || got != nil {
+		t.Fatalf("empty spec: %v, %v", got, err)
+	}
+	if _, err := parseAlgoSets("cvs,,gscale"); err == nil {
+		t.Fatal("empty set accepted")
+	}
+	if _, err := parseAlgoSets("qscale"); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}

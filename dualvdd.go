@@ -44,6 +44,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"time"
 
@@ -103,6 +104,49 @@ func DefaultConfig() Config {
 	}
 }
 
+// ErrInvalidConfig is the sentinel every Config.Validate failure wraps. The
+// message shape is stable and documented: "dualvdd: invalid config: <field>:
+// <reason>", so callers match with errors.Is and humans read one format
+// across the CLI, the job service and sweep expansion.
+var ErrInvalidConfig = errors.New("dualvdd: invalid config")
+
+// configErr builds the one documented error shape of config validation.
+func configErr(field, format string, args ...any) error {
+	return fmt.Errorf("%w: %s: %s", ErrInvalidConfig, field, fmt.Sprintf(format, args...))
+}
+
+// Validate checks the configuration for the degenerate shapes that would
+// otherwise slip through to meaningless numbers (a zero or negative rail
+// makes the delay derate and power ratio NaN or infinite, Vlow ≥ Vhigh
+// inverts equation (1), zero simulation words divide by zero in activity
+// estimation). Every entry point that accepts a Config — Prepare, Job
+// submission, sweep expansion — validates before touching the circuit.
+// Failures wrap ErrInvalidConfig.
+func (c Config) Validate() error {
+	finite := func(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }
+	switch {
+	case !finite(c.Vhigh) || c.Vhigh <= 0:
+		return configErr("vhigh", "supply %g must be a positive, finite voltage", c.Vhigh)
+	case !finite(c.Vlow) || c.Vlow <= 0:
+		return configErr("vlow", "supply %g must be a positive, finite voltage", c.Vlow)
+	case c.Vlow >= c.Vhigh:
+		return configErr("vlow", "low rail %g must sit strictly below vhigh %g", c.Vlow, c.Vhigh)
+	case !finite(c.SlackFactor) || c.SlackFactor < 1:
+		return configErr("slack_factor", "%g must be ≥ 1 (1 = no relaxation)", c.SlackFactor)
+	case !finite(c.MaxAreaIncrease) || c.MaxAreaIncrease < 0:
+		return configErr("max_area_increase", "%g must be a non-negative fraction", c.MaxAreaIncrease)
+	case c.MaxIter < 0:
+		return configErr("max_iter", "%d must be non-negative", c.MaxIter)
+	case c.SimWords < 1:
+		return configErr("sim_words", "%d must be at least 1", c.SimWords)
+	case c.SimWorkers < 0:
+		return configErr("sim_workers", "%d must be non-negative (0 = GOMAXPROCS)", c.SimWorkers)
+	case !finite(c.Fclk) || c.Fclk <= 0:
+		return configErr("fclk_hz", "%g must be a positive, finite frequency", c.Fclk)
+	}
+	return nil
+}
+
 // Design is a prepared benchmark: mapped against the dual-voltage library
 // with its critical path sitting at the timing constraint, ready for the
 // scaling algorithms.
@@ -141,6 +185,9 @@ func PrepareContext(ctx context.Context, net *logic.Network, cfg Config) (*Desig
 
 func prepare(ctx context.Context, net *logic.Network, cfg Config, obs Observer) (*Design, error) {
 	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	lib := cell.Compass06At(cfg.Vhigh, cfg.Vlow)
@@ -232,6 +279,12 @@ type FlowResult struct {
 	// LowRatio = LowGates/Gates, AreaIncrease the relative area growth.
 	LowRatio     float64 `json:"low_ratio"`
 	AreaIncrease float64 `json:"area_increase"`
+	// WorstSlack is the timing margin left after scaling: Tspec minus the
+	// verified critical-path arrival, in ns. A successful run keeps it
+	// non-negative up to the verification epsilon (1e-6 ns) — a larger
+	// violation is an error, never a result. It is the timing axis of sweep
+	// Pareto extraction.
+	WorstSlack float64 `json:"worst_slack_ns"`
 	// Runtime is the wall-clock time of the algorithm itself.
 	Runtime time.Duration `json:"runtime_ns"`
 	// STAEvals counts per-gate incremental timing evaluations spent by the
@@ -328,6 +381,7 @@ func (d *Design) run(ctx context.Context, name string, algo func(*netlist.Circui
 		LCs:          ckt.NumLCs(),
 		Sized:        cres.Sized,
 		AreaIncrease: ckt.Area()/d.Circuit.Area() - 1,
+		WorstSlack:   d.Tspec - t.WorstArrival,
 		Runtime:      elapsed,
 		STAEvals:     cres.STAEvals,
 		CandEvals:    cres.CandEvals,

@@ -78,10 +78,46 @@ type EventResult struct {
 	Result  *FlowResult `json:"result"`
 }
 
-func (EventMapped) isEvent()    {}
-func (EventMove) isEvent()      {}
-func (EventRoundDone) isEvent() {}
-func (EventResult) isEvent()    {}
+// EventSweepPoint reports one completed point of a design-space sweep: the
+// point's position in the expanded grid, the axis values that define it, and
+// the per-algorithm results. Points complete in worker order, so indices
+// arrive out of order; Sweep.Run still aggregates results in input order.
+type EventSweepPoint struct {
+	// Index is the point's position in Sweep.Points order; Total the size of
+	// the expanded grid.
+	Index int `json:"index"`
+	Total int `json:"total"`
+	// Circuit is the design name the point ran on.
+	Circuit string `json:"circuit"`
+	// Vhigh, Vlow, SlackFactor and SimWords are the point's axis values.
+	Vhigh       float64 `json:"vhigh"`
+	Vlow        float64 `json:"vlow"`
+	SlackFactor float64 `json:"slack_factor"`
+	SimWords    int     `json:"sim_words"`
+	// Algorithms is the point's algorithm set, in execution order.
+	Algorithms []Algorithm `json:"algorithms"`
+	// Cached reports that the runner answered the point from its
+	// content-addressed result cache without recomputation.
+	Cached bool `json:"cached,omitempty"`
+	// Results holds one FlowResult per algorithm, in request order. Like all
+	// job-surface results they never carry a Circuit.
+	Results []*FlowResult `json:"results"`
+}
+
+// EventSweepDone reports a finished sweep: how many points ran, how many were
+// answered from the runner's cache, and across how many distinct circuits.
+type EventSweepDone struct {
+	Points   int `json:"points"`
+	Cached   int `json:"cached"`
+	Circuits int `json:"circuits"`
+}
+
+func (EventMapped) isEvent()     {}
+func (EventMove) isEvent()       {}
+func (EventRoundDone) isEvent()  {}
+func (EventResult) isEvent()     {}
+func (EventSweepPoint) isEvent() {}
+func (EventSweepDone) isEvent()  {}
 
 // Observer receives flow progress events. A nil Observer is valid and means
 // "no observation".

@@ -1,0 +1,49 @@
+package dualvdd
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshalEvent feeds the event decoder corrupted, truncated and
+// hostile envelopes. The decoder's contract under garbage is "error, never
+// panic"; under a successful decode the value must re-marshal — a decoded
+// event always round-trips back onto the wire.
+func FuzzUnmarshalEvent(f *testing.F) {
+	for _, ev := range eventFixtures() {
+		b, err := MarshalEvent(ev)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+		// Truncations at a few byte offsets, plus flipped braces.
+		for _, cut := range []int{1, len(b) / 2, len(b) - 1} {
+			f.Add(b[:cut])
+		}
+		f.Add(bytes.ReplaceAll(b, []byte("{"), []byte("[")))
+	}
+	f.Add([]byte(`{"type":"mapped","data":null}`))
+	f.Add([]byte(`{"type":"result","data":{"result":null}}`))
+	f.Add([]byte(`{"type":"sweep_point","data":{"results":[null,{}]}}`))
+	f.Add([]byte(`{"type":123,"data":{}}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ev, err := UnmarshalEvent(data)
+		if err != nil {
+			return
+		}
+		if kind := EventKind(ev); kind == "" {
+			t.Fatalf("decoded event %T has no kind", ev)
+		}
+		b, err := MarshalEvent(ev)
+		if err != nil {
+			t.Fatalf("decoded event does not re-marshal: %v", err)
+		}
+		// And the re-marshalled form decodes to the same value class.
+		if _, err := UnmarshalEvent(b); err != nil {
+			t.Fatalf("re-marshalled event does not decode: %v\n%s", err, b)
+		}
+	})
+}

@@ -8,10 +8,12 @@ import (
 // Event kinds as they appear in the JSON envelope's "type" field. The strings
 // are wire format — stable across releases.
 const (
-	EventKindMapped    = "mapped"
-	EventKindMove      = "move"
-	EventKindRoundDone = "round_done"
-	EventKindResult    = "result"
+	EventKindMapped     = "mapped"
+	EventKindMove       = "move"
+	EventKindRoundDone  = "round_done"
+	EventKindResult     = "result"
+	EventKindSweepPoint = "sweep_point"
+	EventKindSweepDone  = "sweep_done"
 )
 
 // EventKind returns the envelope type tag of an event, or "" for an unknown
@@ -26,6 +28,10 @@ func EventKind(ev Event) string {
 		return EventKindRoundDone
 	case EventResult, *EventResult:
 		return EventKindResult
+	case EventSweepPoint, *EventSweepPoint:
+		return EventKindSweepPoint
+	case EventSweepDone, *EventSweepDone:
+		return EventKindSweepDone
 	}
 	return ""
 }
@@ -63,10 +69,12 @@ func unmarshalEnvelope(b []byte, kind string, data any) error {
 // eventMappedJSON et al. break the MarshalJSON recursion: the alias type has
 // the same fields and tags but not the method set.
 type (
-	eventMappedJSON    EventMapped
-	eventMoveJSON      EventMove
-	eventRoundDoneJSON EventRoundDone
-	eventResultJSON    EventResult
+	eventMappedJSON     EventMapped
+	eventMoveJSON       EventMove
+	eventRoundDoneJSON  EventRoundDone
+	eventResultJSON     EventResult
+	eventSweepPointJSON EventSweepPoint
+	eventSweepDoneJSON  EventSweepDone
 )
 
 // MarshalJSON encodes the event as a type-tagged envelope.
@@ -110,6 +118,27 @@ func (e *EventResult) UnmarshalJSON(b []byte) error {
 	return unmarshalEnvelope(b, EventKindResult, (*eventResultJSON)(e))
 }
 
+// MarshalJSON encodes the event as a type-tagged envelope. The embedded
+// FlowResults are encoded without their Circuits.
+func (e EventSweepPoint) MarshalJSON() ([]byte, error) {
+	return marshalEnvelope(EventKindSweepPoint, eventSweepPointJSON(e))
+}
+
+// UnmarshalJSON decodes a type-tagged envelope, rejecting a mismatched tag.
+func (e *EventSweepPoint) UnmarshalJSON(b []byte) error {
+	return unmarshalEnvelope(b, EventKindSweepPoint, (*eventSweepPointJSON)(e))
+}
+
+// MarshalJSON encodes the event as a type-tagged envelope.
+func (e EventSweepDone) MarshalJSON() ([]byte, error) {
+	return marshalEnvelope(EventKindSweepDone, eventSweepDoneJSON(e))
+}
+
+// UnmarshalJSON decodes a type-tagged envelope, rejecting a mismatched tag.
+func (e *EventSweepDone) UnmarshalJSON(b []byte) error {
+	return unmarshalEnvelope(b, EventKindSweepDone, (*eventSweepDoneJSON)(e))
+}
+
 // MarshalEvent encodes any event as its type-tagged JSON envelope. Like
 // EventKind, it accepts both value and pointer forms.
 func MarshalEvent(ev Event) ([]byte, error) {
@@ -140,6 +169,12 @@ func UnmarshalEvent(b []byte) (Event, error) {
 	case EventKindResult:
 		var e EventResult
 		return e, json.Unmarshal(env.Data, (*eventResultJSON)(&e))
+	case EventKindSweepPoint:
+		var e EventSweepPoint
+		return e, json.Unmarshal(env.Data, (*eventSweepPointJSON)(&e))
+	case EventKindSweepDone:
+		var e EventSweepDone
+		return e, json.Unmarshal(env.Data, (*eventSweepDoneJSON)(&e))
 	}
 	return nil, fmt.Errorf("dualvdd: unknown event type %q", env.Type)
 }

@@ -28,11 +28,21 @@ func eventFixtures() map[string]Event {
 			Result: &FlowResult{
 				Algorithm: "Gscale", Power: 6.19e-5, ImprovePct: 22.7,
 				Gates: 157, LowGates: 147, LCs: 3, Sized: 18,
-				LowRatio: 0.9363, AreaIncrease: 0.095,
+				LowRatio: 0.9363, AreaIncrease: 0.095, WorstSlack: 0.0125,
 				Runtime: 1500 * time.Millisecond, STAEvals: 3608, CandEvals: 239,
 				SimTime: 12 * time.Millisecond,
 			},
 		},
+		EventKindSweepPoint: EventSweepPoint{
+			Index: 3, Total: 27, Circuit: "C880",
+			Vhigh: 5.0, Vlow: 3.9, SlackFactor: 1.2, SimWords: 256,
+			Algorithms: []Algorithm{AlgoGscale}, Cached: true,
+			Results: []*FlowResult{{
+				Algorithm: "Gscale", Power: 5.9e-5, ImprovePct: 26.4,
+				Gates: 157, LowGates: 150, LCs: 2, WorstSlack: 0.031,
+			}},
+		},
+		EventKindSweepDone: EventSweepDone{Points: 27, Cached: 27, Circuits: 3},
 	}
 }
 
@@ -40,7 +50,8 @@ func TestEventJSONRoundTripEveryKind(t *testing.T) {
 	fixtures := eventFixtures()
 	// Completeness: every wire kind has a fixture, and every fixture's
 	// EventKind agrees with its map key.
-	kinds := []string{EventKindMapped, EventKindMove, EventKindRoundDone, EventKindResult}
+	kinds := []string{EventKindMapped, EventKindMove, EventKindRoundDone, EventKindResult,
+		EventKindSweepPoint, EventKindSweepDone}
 	if len(fixtures) != len(kinds) {
 		t.Fatalf("fixture set has %d kinds, codec declares %d", len(fixtures), len(kinds))
 	}
@@ -99,6 +110,14 @@ func TestEventJSONStableEncoding(t *testing.T) {
 	want := `{"type":"round_done","data":{"circuit":"C880","algorithm":"Dscale","round":2,"moves":7,"low_gates":93,"power_w":0.000064,"sta_evals":1365,"worst_arrival_ns":3.8991}}`
 	if string(b) != want {
 		t.Fatalf("round_done encoding drifted:\n got %s\nwant %s", b, want)
+	}
+	b, err = MarshalEvent(eventFixtures()[EventKindSweepDone])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = `{"type":"sweep_done","data":{"points":27,"cached":27,"circuits":3}}`
+	if string(b) != want {
+		t.Fatalf("sweep_done encoding drifted:\n got %s\nwant %s", b, want)
 	}
 }
 

@@ -3,33 +3,52 @@
 // quadratically more per gate, but its delay penalty shrinks the set of
 // gates that can take it, so realised savings peak somewhere in between.
 //
+// The exploration is one dualvdd.Sweep over the VDDL axis, run through the
+// in-process Runner (examples/sweep is the bigger, self-verifying variant
+// across three circuits and both transports).
+//
 //	go run ./examples/voltsweep
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"dualvdd"
+	"dualvdd/internal/report"
 )
 
 func main() {
+	ctx := context.Background()
+	sweep := dualvdd.Sweep{
+		Circuits:   dualvdd.SweepBenchmarks("C880"),
+		Algorithms: []dualvdd.Algorithm{dualvdd.AlgoGscale},
+		Axes:       dualvdd.Axes{VDDL: []float64{4.7, 4.5, 4.3, 4.1, 3.9, 3.7, 3.5}},
+	}
+
+	local := dualvdd.NewLocal()
+	defer func() {
+		cctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		_ = local.Close(cctx)
+	}()
+	results, err := sweep.Run(ctx, local)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Println("Gscale on C880 across low-rail choices (Vhigh = 5.0 V):")
-	fmt.Printf("%6s %12s %10s %10s %10s\n", "Vlow", "ideal-max%", "saved%", "lowRatio", "sized")
-	for _, vlow := range []float64{4.7, 4.5, 4.3, 4.1, 3.9, 3.7, 3.5} {
-		cfg := dualvdd.DefaultConfig()
-		cfg.Vlow = vlow
-		d, err := dualvdd.PrepareBenchmark("C880", cfg)
-		if err != nil {
-			log.Fatal(err)
+	fmt.Printf("%6s %12s %10s %10s %10s %7s\n", "Vlow", "ideal-max%", "saved%", "lowRatio", "sized", "pareto")
+	for _, r := range report.BuildSweep(results).Rows {
+		ideal := (1 - (r.Vlow*r.Vlow)/(r.Vhigh*r.Vhigh)) * 100 // all gates low, no overheads
+		star := ""
+		if r.Pareto {
+			star = "*"
 		}
-		res, err := d.RunGscale()
-		if err != nil {
-			log.Fatal(err)
-		}
-		ideal := (1 - (vlow*vlow)/(5.0*5.0)) * 100 // all gates low, no overheads
-		fmt.Printf("%6.1f %11.1f%% %9.2f%% %10.2f %10d\n",
-			vlow, ideal, res.ImprovePct, res.LowRatio, res.Sized)
+		fmt.Printf("%6.1f %11.1f%% %9.2f%% %10.2f %10d %7s\n",
+			r.Vlow, ideal, r.ImprovePct, r.LowRatio, r.Sized, star)
 	}
 	fmt.Println("\nThe quadratic ceiling rises as Vlow drops, but the delay")
 	fmt.Println("penalty eats the eligible-gate ratio — the paper's 4.3 V sits")

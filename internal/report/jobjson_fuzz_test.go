@@ -1,0 +1,69 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dualvdd"
+)
+
+// FuzzDecodeJobRequest drives the submit-body decoder with corrupted and
+// truncated wire bytes: whatever arrives, the decoder errors or produces a
+// request whose Job survives Validate/encoding without panicking — the
+// server calls exactly this path on untrusted input.
+func FuzzDecodeJobRequest(f *testing.F) {
+	var seed bytes.Buffer
+	_ = WriteJSON(&seed, RequestFromJob(dualvdd.BenchmarkJob("C880")))
+	b := seed.Bytes()
+	f.Add(string(b))
+	f.Add(string(b[:len(b)/2]))
+	f.Add(`{"benchmark":"x2","config":{"vhigh":null}}`)
+	f.Add(`{"blif":"` + strings.Repeat(".", 64) + `"}`)
+	f.Add(`{"config":{"sim_words":-1,"vlow":1e309}}`)
+	f.Add(`{"algorithms":["CVS",null,42]}`)
+	f.Add(`[]`)
+	f.Add(``)
+
+	f.Fuzz(func(t *testing.T, data string) {
+		var req JobRequest
+		if err := DecodeJSON(strings.NewReader(data), &req); err != nil {
+			return
+		}
+		job := req.Job()
+		// Validation may reject the job; it must never panic, and a valid
+		// job must re-encode.
+		if err := job.Validate(); err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, RequestFromJob(job)); err != nil {
+			t.Fatalf("valid job does not re-encode: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeJobResource does the same for the status/result body the client
+// decodes from the server.
+func FuzzDecodeJobResource(f *testing.F) {
+	f.Add(`{"id":"job-000001-abc","state":"done","results":[{"algorithm":"CVS","power_w":1e-5}]}`)
+	f.Add(`{"state":"running","design":{"name":"C880","gates":157}}`)
+	f.Add(`{"results":[null]}`)
+	f.Add(`{"state":42}`)
+	f.Add(`{}`)
+	f.Add(``)
+
+	f.Fuzz(func(t *testing.T, data string) {
+		var res JobResource
+		if err := DecodeJSON(strings.NewReader(data), &res); err != nil {
+			return
+		}
+		// A decoded resource re-encodes; terminal-state logic must tolerate
+		// arbitrary state strings without panicking.
+		_ = res.State.Terminal()
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, res); err != nil {
+			t.Fatalf("decoded resource does not re-encode: %v", err)
+		}
+	})
+}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"math"
+	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -37,6 +39,7 @@ func sameFlowResult(t *testing.T, label string, got, want *dualvdd.FlowResult) {
 		{"ImprovePct", got.ImprovePct, want.ImprovePct},
 		{"LowRatio", got.LowRatio, want.LowRatio},
 		{"AreaIncrease", got.AreaIncrease, want.AreaIncrease},
+		{"WorstSlack", got.WorstSlack, want.WorstSlack},
 	} {
 		if math.Float64bits(f.got) != math.Float64bits(f.want) {
 			t.Fatalf("%s: %s differs: %v vs %v", label, f.name, f.got, f.want)
@@ -363,6 +366,149 @@ func TestLocalJobHistoryEviction(t *testing.T) {
 	}
 	if st, err := l.Status(ctx, second); err != nil || st.State != dualvdd.JobDone {
 		t.Fatalf("recent job: %v / %+v", err, st)
+	}
+}
+
+// stableGoroutines samples the goroutine count until it stops shrinking,
+// giving exiting workers and abandoned watchers time to unwind.
+func stableGoroutines(deadline time.Time, atMost int) int {
+	n := runtime.NumGoroutine()
+	for time.Now().Before(deadline) {
+		if n <= atMost {
+			return n
+		}
+		time.Sleep(10 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	return n
+}
+
+// TestLocalLifecycleNoGoroutineLeak hammers one Local with concurrent
+// Submit/Cancel/Watch — including Watch subscribers that abandon their
+// stream mid-flight — then closes it and asserts every service goroutine
+// (worker pool, watch pumps) exited: the count returns to its baseline.
+func TestLocalLifecycleNoGoroutineLeak(t *testing.T) {
+	ctx := context.Background()
+	before := runtime.NumGoroutine()
+
+	l := dualvdd.NewLocal(dualvdd.LocalWorkers(4), dualvdd.LocalQueueDepth(32))
+	const jobs = 12
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id, err := l.Submit(ctx, dualvdd.BenchmarkJob("z4ml",
+				dualvdd.WithSeed(uint64(i+1)), dualvdd.WithSimWords(64)))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			switch i % 3 {
+			case 0:
+				// An abandoned Watch subscriber: attach, read at most one
+				// event, walk away by cancelling the stream context.
+				wctx, wcancel := context.WithCancel(ctx)
+				defer wcancel()
+				events, err := l.Watch(wctx, id)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				<-events
+				wcancel()
+			case 1:
+				// Concurrent cancel; racing the worker is the point — any
+				// terminal state is fine.
+				if err := l.Cancel(ctx, id); err != nil {
+					t.Error(err)
+				}
+				if _, err := l.Result(ctx, id); err != nil {
+					t.Error(err)
+				}
+			default:
+				if _, err := l.Result(ctx, id); err != nil {
+					t.Error(err)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	mustClose(t, l)
+
+	// Abandoned watch pumps and pool workers unwind asynchronously; allow a
+	// little slack for runtime bookkeeping goroutines.
+	atMost := before + 2
+	if n := stableGoroutines(time.Now().Add(10*time.Second), atMost); n > atMost {
+		buf := make([]byte, 1<<20)
+		t.Fatalf("goroutines: %d before, %d after close\n%s",
+			before, n, buf[:runtime.Stack(buf, true)])
+	}
+}
+
+// TestLocalCloseDuringSweepDrains proves Close during an in-flight sweep
+// drains cleanly: points already submitted finish normally, later
+// submissions fail with ErrClosed (which aborts the sweep deterministically
+// rather than hanging it), and the service winds down to its baseline
+// goroutine count.
+func TestLocalCloseDuringSweepDrains(t *testing.T) {
+	ctx := context.Background()
+	before := runtime.NumGoroutine()
+	l := dualvdd.NewLocal(dualvdd.LocalWorkers(1), dualvdd.LocalQueueDepth(32))
+
+	base := dualvdd.DefaultConfig()
+	base.SimWords = 512 // slow the points down so Close lands mid-sweep
+	sweep := dualvdd.Sweep{
+		Circuits:   dualvdd.SweepBenchmarks("z4ml"),
+		Base:       base,
+		Algorithms: []dualvdd.Algorithm{dualvdd.AlgoCVS},
+		Axes:       dualvdd.Axes{VDDL: []float64{4.5, 4.3, 4.1, 3.9, 3.7, 3.5}},
+	}
+	type outcome struct {
+		results []dualvdd.SweepPointResult
+		err     error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := sweep.Run(ctx, l, dualvdd.SweepInFlight(2))
+		done <- outcome{res, err}
+	}()
+
+	// Wait for the sweep to get work in flight, then close under it.
+	deadline := time.Now().Add(time.Minute)
+	for {
+		m := l.Metrics()
+		if m.JobsRunning > 0 || m.JobsDone > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sweep never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mustClose(t, l)
+
+	out := <-done
+	if out.err != nil && !errors.Is(out.err, dualvdd.ErrClosed) {
+		t.Fatalf("sweep under close returned %v, want nil or ErrClosed", out.err)
+	}
+	// Every point that did complete drained normally and carries results.
+	completed := 0
+	for _, pr := range out.results {
+		if pr.Status == nil {
+			continue
+		}
+		if pr.Status.State != dualvdd.JobDone || len(pr.Status.Results) == 0 {
+			t.Fatalf("drained point %d ended %s", pr.Point.Index, pr.Status.State)
+		}
+		completed++
+	}
+	if completed == 0 {
+		t.Fatal("close drained zero points")
+	}
+	atMost := before + 2
+	if n := stableGoroutines(time.Now().Add(10*time.Second), atMost); n > atMost {
+		t.Fatalf("goroutines: %d before, %d after close", before, n)
 	}
 }
 

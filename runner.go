@@ -118,10 +118,16 @@ func BLIFJob(model string, opts ...Option) Job {
 	return Job{BLIF: model, Config: f.Config(), Algorithms: f.Algorithms()}
 }
 
-// Validate checks the job is well-formed without touching its circuit.
+// Validate checks the job is well-formed without touching its circuit: the
+// input is exactly one of Benchmark/BLIF, the algorithms are known, and the
+// Config passes Config.Validate (so a degenerate voltage pair is rejected at
+// Submit instead of surfacing as NaN power numbers from a worker).
 func (j Job) Validate() error {
 	if (j.Benchmark == "") == (j.BLIF == "") {
 		return errors.New("dualvdd: job needs exactly one of Benchmark or BLIF")
+	}
+	if err := j.Config.Validate(); err != nil {
+		return err
 	}
 	for _, a := range j.Algorithms {
 		switch a {

@@ -3,9 +3,13 @@ package server_test
 import (
 	"context"
 	"errors"
+	"io"
 	"math"
+	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -50,6 +54,7 @@ func sameResult(t *testing.T, label string, got, want *dualvdd.FlowResult) {
 		{"ImprovePct", got.ImprovePct, want.ImprovePct},
 		{"LowRatio", got.LowRatio, want.LowRatio},
 		{"AreaIncrease", got.AreaIncrease, want.AreaIncrease},
+		{"WorstSlack", got.WorstSlack, want.WorstSlack},
 	} {
 		if math.Float64bits(f.got) != math.Float64bits(f.want) {
 			t.Fatalf("%s: %s differs across the wire: %v vs %v", label, f.name, f.got, f.want)
@@ -218,6 +223,107 @@ func TestErrorMappingAcrossTheWire(t *testing.T) {
 	}
 	if err := c.Health(ctx); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSweepOverHTTP runs the same Sweep twice, once through the Local runner
+// and once through the HTTP client against it: the Runner abstraction must
+// make the two executions bit-identical, the per-job progress events must
+// cross the wire as SSE, and re-running the sweep remotely must be answered
+// entirely from the server-side cache.
+func TestSweepOverHTTP(t *testing.T) {
+	ctx := context.Background()
+	local, c := newPair(t, dualvdd.LocalWorkers(2))
+
+	base := dualvdd.DefaultConfig()
+	base.SimWords = 32
+	sweep := dualvdd.Sweep{
+		Circuits:   dualvdd.SweepBenchmarks("x2", "mux"),
+		Base:       base,
+		Algorithms: []dualvdd.Algorithm{dualvdd.AlgoCVS, dualvdd.AlgoGscale},
+		Axes:       dualvdd.Axes{VDDL: []float64{4.3, 3.9}},
+	}
+
+	// Reference: the sweep straight on the Local runner. Its points land in
+	// the shared cache, so the remote sweep below must come back cached —
+	// proving the wire and in-process paths share one content address.
+	wantRes, err := sweep.Run(ctx, local)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	counts := map[string]int{}
+	before := local.Metrics()
+	gotRes, err := sweep.Run(ctx, c,
+		dualvdd.SweepObserver(func(ev dualvdd.Event) {
+			mu.Lock()
+			counts[dualvdd.EventKind(ev)]++
+			mu.Unlock()
+		}),
+		dualvdd.SweepJobEvents(true),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := local.Metrics()
+	if len(gotRes) != len(wantRes) {
+		t.Fatalf("remote sweep returned %d points, local %d", len(gotRes), len(wantRes))
+	}
+	for i := range wantRes {
+		if !gotRes[i].Status.Cached {
+			t.Fatalf("remote point %d missed the cache the local sweep filled", i)
+		}
+		if len(gotRes[i].Status.Results) != len(wantRes[i].Status.Results) {
+			t.Fatalf("point %d: result count drifted over the wire", i)
+		}
+		for k, want := range wantRes[i].Status.Results {
+			sameResult(t, "sweep point", gotRes[i].Status.Results[k], want)
+		}
+	}
+	if after.STAEvals != before.STAEvals || after.CandEvals != before.CandEvals || after.SimNs != before.SimNs {
+		t.Fatalf("cached remote sweep recomputed: before %+v after %+v", before, after)
+	}
+	if hits := after.CacheHits - before.CacheHits; hits != int64(len(wantRes)) {
+		t.Fatalf("remote sweep hit the cache %d times, want %d", hits, len(wantRes))
+	}
+	// The sweep's own events fired, and the job streams crossed the wire as
+	// SSE (cached jobs replay mapped + one result per algorithm).
+	if counts[dualvdd.EventKindSweepPoint] != len(wantRes) || counts[dualvdd.EventKindSweepDone] != 1 {
+		t.Fatalf("sweep events: %v", counts)
+	}
+	if counts[dualvdd.EventKindMapped] != len(wantRes) ||
+		counts[dualvdd.EventKindResult] != 2*len(wantRes) {
+		t.Fatalf("forwarded SSE job events: %v", counts)
+	}
+
+	// A degenerate axis never reaches the wire: expansion validates every
+	// point before the first submission.
+	badSweep := sweep
+	badSweep.Axes.VDDL = []float64{5.5}
+	if _, err := badSweep.Run(ctx, c); !errors.Is(err, dualvdd.ErrInvalidConfig) {
+		t.Fatalf("degenerate sweep returned %v, want ErrInvalidConfig", err)
+	}
+}
+
+// TestServerRejectsDegenerateConfig bypasses the client's local validation
+// with a raw POST, proving the server side also refuses a config that would
+// produce NaN power numbers.
+func TestServerRejectsDegenerateConfig(t *testing.T) {
+	_, c := newPair(t)
+	body := `{"benchmark":"x2","config":{"vhigh":5,"vlow":6,"slack_factor":1.2,` +
+		`"max_area_increase":0.1,"max_iter":10,"sim_words":256,"seed":1,"fclk_hz":20000000}}`
+	resp, err := http.Post(c.BaseURL()+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("degenerate config got HTTP %d, want 400", resp.StatusCode)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(b), "invalid config: vlow") {
+		t.Fatalf("error body lost the documented shape: %s", b)
 	}
 }
 

@@ -1,0 +1,411 @@
+package dualvdd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Sweep is a design-space exploration over the flow's configuration axes:
+// the grid the paper's single (VDDH, VDDL, slack) point is one corner of.
+// Each listed axis value set is crossed with every other, per circuit, and
+// the resulting points are executed through any Runner — a Local fans them
+// across its worker pool and dedupes shared points through its
+// content-addressed cache, a client.Client runs the identical sweep against
+// a remote `dualvdd serve`. Results aggregate in expansion order regardless
+// of scheduling, so a sweep is as deterministic as the single runs it is
+// made of.
+//
+// Expansion order (Points) is fixed and documented: circuits outermost, then
+// VDDH, VDDL, slack factor, sim words, and algorithm sets innermost, each
+// axis iterated in its given order with the rightmost axis varying fastest.
+// An omitted axis contributes the base value, so the zero Axes sweeps
+// exactly the base configuration across the circuits.
+type Sweep struct {
+	// Circuits are the designs to sweep. Build benchmark entries with
+	// SweepBenchmarks, or inline BLIF models directly.
+	Circuits []SweepCircuit `json:"circuits"`
+	// Base is the configuration every point starts from; axes override
+	// individual fields. The zero Config means DefaultConfig.
+	Base Config `json:"base"`
+	// Algorithms is the base algorithm set used when Axes.AlgorithmSets is
+	// empty; nil means all three in the paper's order.
+	Algorithms []Algorithm `json:"algorithms,omitempty"`
+	// Axes are the swept dimensions.
+	Axes Axes `json:"axes"`
+}
+
+// SweepCircuit is one design of a sweep: a named MCNC benchmark or an inline
+// BLIF model, exactly one of which must be set (the same contract as Job).
+type SweepCircuit struct {
+	Benchmark string `json:"benchmark,omitempty"`
+	BLIF      string `json:"blif,omitempty"`
+}
+
+// label names the circuit for error messages and events.
+func (c SweepCircuit) label() string {
+	if c.Benchmark != "" {
+		return c.Benchmark
+	}
+	return "blif"
+}
+
+// SweepBenchmarks builds the circuit list for named MCNC benchmarks.
+func SweepBenchmarks(names ...string) []SweepCircuit {
+	out := make([]SweepCircuit, len(names))
+	for i, n := range names {
+		out[i] = SweepCircuit{Benchmark: n}
+	}
+	return out
+}
+
+// Axes are the swept Config dimensions. A nil axis is not swept: the base
+// value stands. Values are used exactly as given, in the given order — the
+// CLI's range syntax expands to an explicit list before it gets here.
+type Axes struct {
+	// VDDH and VDDL sweep the supply rails in volts.
+	VDDH []float64 `json:"vddh,omitempty"`
+	VDDL []float64 `json:"vddl,omitempty"`
+	// SlackFactor sweeps the timing-constraint relaxation.
+	SlackFactor []float64 `json:"slack_factor,omitempty"`
+	// SimWords sweeps the power-estimation simulation length.
+	SimWords []int `json:"sim_words,omitempty"`
+	// AlgorithmSets sweeps which algorithms run; each entry must be
+	// non-empty (an empty set is a validation error, not "all").
+	AlgorithmSets [][]Algorithm `json:"algorithm_sets,omitempty"`
+}
+
+// SweepPoint is one expanded point of the grid: a circuit plus the fully
+// resolved configuration and algorithm set. Index is the point's position in
+// expansion order.
+type SweepPoint struct {
+	Index      int          `json:"index"`
+	Circuit    SweepCircuit `json:"circuit"`
+	Config     Config       `json:"config"`
+	Algorithms []Algorithm  `json:"algorithms"`
+}
+
+// Job converts the point into the Runner job that computes it. The job's
+// content address is the point's identity: two sweeps sharing a point share
+// its cache entry.
+func (p SweepPoint) Job() Job {
+	return Job{
+		Benchmark:  p.Circuit.Benchmark,
+		BLIF:       p.Circuit.BLIF,
+		Config:     p.Config,
+		Algorithms: append([]Algorithm(nil), p.Algorithms...),
+	}
+}
+
+// SweepPointResult pairs a point with its terminal job status. Status.State
+// is always JobDone here — Run turns any other terminal state into an error.
+type SweepPointResult struct {
+	Point  SweepPoint `json:"point"`
+	Status *JobStatus `json:"status"`
+}
+
+// Points expands the sweep into its deterministic point list: circuits
+// outermost, then VDDH, VDDL, slack factor, sim words and algorithm sets,
+// rightmost fastest, each in given order. Every expanded Config is validated
+// (Config.Validate), every algorithm set must be non-empty and known, and
+// the circuit list must be non-empty with each entry naming exactly one
+// input — so a degenerate axis combination (say a VDDL value at or above
+// VDDH) fails loudly at expansion, before any job is submitted.
+func (s Sweep) Points() ([]SweepPoint, error) {
+	if len(s.Circuits) == 0 {
+		return nil, errors.New("dualvdd: sweep has no circuits")
+	}
+	base := s.Base
+	if base == (Config{}) {
+		base = DefaultConfig()
+	}
+	baseAlgos := s.Algorithms
+	if len(baseAlgos) == 0 {
+		baseAlgos = Algorithms()
+	}
+	vddh := s.Axes.VDDH
+	if len(vddh) == 0 {
+		vddh = []float64{base.Vhigh}
+	}
+	vddl := s.Axes.VDDL
+	if len(vddl) == 0 {
+		vddl = []float64{base.Vlow}
+	}
+	slack := s.Axes.SlackFactor
+	if len(slack) == 0 {
+		slack = []float64{base.SlackFactor}
+	}
+	words := s.Axes.SimWords
+	if len(words) == 0 {
+		words = []int{base.SimWords}
+	}
+	sets := s.Axes.AlgorithmSets
+	if len(sets) == 0 {
+		sets = [][]Algorithm{baseAlgos}
+	}
+
+	points := make([]SweepPoint, 0, len(s.Circuits)*len(vddh)*len(vddl)*len(slack)*len(words)*len(sets))
+	for ci, ckt := range s.Circuits {
+		if (ckt.Benchmark == "") == (ckt.BLIF == "") {
+			return nil, fmt.Errorf("dualvdd: sweep circuit %d needs exactly one of Benchmark or BLIF", ci)
+		}
+		for _, vh := range vddh {
+			for _, vl := range vddl {
+				for _, sf := range slack {
+					for _, sw := range words {
+						for _, algos := range sets {
+							cfg := base
+							cfg.Vhigh, cfg.Vlow = vh, vl
+							cfg.SlackFactor = sf
+							cfg.SimWords = sw
+							pt := SweepPoint{
+								Index:      len(points),
+								Circuit:    ckt,
+								Config:     cfg,
+								Algorithms: append([]Algorithm(nil), algos...),
+							}
+							if len(algos) == 0 {
+								return nil, fmt.Errorf("dualvdd: sweep point %d (%s): empty algorithm set", pt.Index, ckt.label())
+							}
+							if err := pt.Job().Validate(); err != nil {
+								return nil, fmt.Errorf("dualvdd: sweep point %d (%s, vddh=%g vddl=%g slack=%g words=%d): %w",
+									pt.Index, ckt.label(), vh, vl, sf, sw, err)
+							}
+							points = append(points, pt)
+						}
+					}
+				}
+			}
+		}
+	}
+	return points, nil
+}
+
+// sweepRun collects Run's options.
+type sweepRun struct {
+	inFlight int
+	obs      Observer
+	forward  bool
+}
+
+// SweepOption configures Sweep.Run.
+type SweepOption func(*sweepRun)
+
+// SweepInFlight bounds how many points are submitted to the runner at once
+// (default: GOMAXPROCS, capped at 16). It should not exceed the runner's
+// queue depth by much — a full queue is retried, not fatal, but the retries
+// are wasted round trips on a remote transport.
+func SweepInFlight(n int) SweepOption {
+	return func(r *sweepRun) {
+		if n > 0 {
+			r.inFlight = n
+		}
+	}
+}
+
+// SweepObserver attaches a progress observer to the sweep: it receives one
+// EventSweepPoint per completed point (in completion order — Index restores
+// expansion order), one EventSweepDone at the end, and — because points
+// complete on concurrent workers — must be safe for concurrent use, the same
+// contract Batch observers carry.
+func SweepObserver(obs Observer) SweepOption {
+	return func(r *sweepRun) { r.obs = obs }
+}
+
+// SweepJobEvents additionally forwards every per-job progress event
+// (EventMapped, EventMove, EventRoundDone, EventResult) from the runner's
+// Watch stream to the sweep observer, interleaved across in-flight points.
+// Over a client.Client this streams each job's SSE feed — the same envelopes
+// a -progress log carries. Without an observer the option is inert.
+func SweepJobEvents(on bool) SweepOption {
+	return func(r *sweepRun) { r.forward = on }
+}
+
+// Run expands the sweep and executes every point through the runner,
+// returning the results in expansion order. Submission fans out across at
+// most SweepInFlight points; a runner whose queue is momentarily full is
+// retried. The first failing point aborts the sweep deterministically (the
+// lowest-index intrinsic failure is reported, the Batch contract); on error
+// the returned slice still holds every completed point, with nil holes for
+// failed and skipped ones.
+//
+// Cancellation: when ctx ends, in-flight jobs are cancelled on the runner
+// and Run returns ctx.Err(). Points the runner answered from its cache
+// complete instantly and are flagged Cached on their status.
+func (s Sweep) Run(ctx context.Context, r Runner, opts ...SweepOption) ([]SweepPointResult, error) {
+	run := sweepRun{inFlight: min(runtime.GOMAXPROCS(0), 16)}
+	for _, opt := range opts {
+		opt(&run)
+	}
+	points, err := s.Points()
+	if err != nil {
+		return nil, err
+	}
+	var cached atomic.Int64
+	results, err := BatchMap(ctx, Batch{Workers: run.inFlight}, len(points),
+		func(ctx context.Context, i int) (SweepPointResult, error) {
+			st, err := runSweepPoint(ctx, r, points[i], run)
+			if err != nil {
+				return SweepPointResult{}, err
+			}
+			res := SweepPointResult{Point: points[i], Status: st}
+			if run.obs != nil {
+				run.obs.emit(sweepPointEvent(points[i], len(points), st))
+			}
+			if st.Cached {
+				cached.Add(1)
+			}
+			return res, nil
+		})
+	if err != nil {
+		// Failed and skipped slots hold the zero SweepPointResult, per the
+		// BatchMap contract.
+		return results, err
+	}
+	if run.obs != nil {
+		circuits := map[SweepCircuit]struct{}{}
+		for _, p := range points {
+			circuits[p.Circuit] = struct{}{}
+		}
+		run.obs.emit(EventSweepDone{
+			Points:   len(points),
+			Cached:   int(cached.Load()),
+			Circuits: len(circuits),
+		})
+	}
+	return results, nil
+}
+
+// runSweepPoint submits one point and waits for its terminal status,
+// retrying a momentarily full queue and cancelling the job if ctx ends
+// first.
+func runSweepPoint(ctx context.Context, r Runner, pt SweepPoint, run sweepRun) (*JobStatus, error) {
+	var id JobID
+	for {
+		var err error
+		id, err = r.Submit(ctx, pt.Job())
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ErrQueueFull) {
+			return nil, fmt.Errorf("sweep point %d (%s): %w", pt.Index, pt.Circuit.label(), err)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	// Forward the job's own progress stream when asked. On a terminal job
+	// the runner closes the channel and the full tail is forwarded; when
+	// Result fails the job may never turn terminal, so the stream is cut
+	// instead of hanging the sweep on its drain.
+	watchDone := func(bool) {}
+	if run.obs != nil && run.forward {
+		wctx, wcancel := context.WithCancel(ctx)
+		if events, werr := r.Watch(wctx, id); werr == nil {
+			fwd := make(chan struct{})
+			go func() {
+				defer close(fwd)
+				for ev := range events {
+					run.obs.emit(ev)
+				}
+			}()
+			watchDone = func(jobTerminal bool) {
+				if !jobTerminal {
+					wcancel()
+				}
+				<-fwd
+				wcancel()
+			}
+		} else {
+			wcancel()
+		}
+	}
+	st, err := r.Result(ctx, id)
+	if err != nil {
+		// Best-effort cancel so an abandoned sweep does not leave the runner
+		// grinding through the queue; the job's own context is independent
+		// of ours, hence the fresh one.
+		cctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		_ = r.Cancel(cctx, id)
+		cancel()
+		watchDone(false)
+		return nil, err
+	}
+	watchDone(true)
+	switch st.State {
+	case JobDone:
+		return st, nil
+	case JobCancelled:
+		// Prefer the caller's own ctx error when that is what stopped us.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("sweep point %d (%s): job cancelled: %s", pt.Index, pt.Circuit.label(), st.Error)
+	default:
+		return nil, fmt.Errorf("sweep point %d (%s): %s", pt.Index, pt.Circuit.label(), st.Error)
+	}
+}
+
+// sweepPointEvent builds the progress event for one completed point.
+func sweepPointEvent(pt SweepPoint, total int, st *JobStatus) EventSweepPoint {
+	name := pt.Circuit.label()
+	if st.Design != nil {
+		name = st.Design.Name
+	}
+	return EventSweepPoint{
+		Index:       pt.Index,
+		Total:       total,
+		Circuit:     name,
+		Vhigh:       pt.Config.Vhigh,
+		Vlow:        pt.Config.Vlow,
+		SlackFactor: pt.Config.SlackFactor,
+		SimWords:    pt.Config.SimWords,
+		Algorithms:  append([]Algorithm(nil), pt.Algorithms...),
+		Cached:      st.Cached,
+		Results:     st.Results,
+	}
+}
+
+// ParetoPoint is one candidate in Pareto-frontier extraction: the three
+// objectives the sweep trades off per circuit — total power (minimize),
+// worst slack (maximize; the margin that survives further derating or
+// process spread), and level-converter count (minimize; LCs are the
+// dual-voltage overhead the paper's §2 worries about).
+type ParetoPoint struct {
+	Power      float64
+	WorstSlack float64
+	LCs        int
+}
+
+// dominates reports a ≼ b with at least one strict inequality: a is no worse
+// on every objective and better on one.
+func (a ParetoPoint) dominates(b ParetoPoint) bool {
+	if a.Power > b.Power || a.WorstSlack < b.WorstSlack || a.LCs > b.LCs {
+		return false
+	}
+	return a.Power < b.Power || a.WorstSlack > b.WorstSlack || a.LCs < b.LCs
+}
+
+// ParetoMask marks the non-dominated members of a candidate set: mask[i] is
+// true iff no other point dominates point i. Duplicate objective vectors are
+// all kept (none dominates its twin), so every config that achieves a
+// frontier trade-off is reported. The mask is deterministic in the input
+// order alone.
+func ParetoMask(pts []ParetoPoint) []bool {
+	mask := make([]bool, len(pts))
+	for i, p := range pts {
+		mask[i] = true
+		for j, q := range pts {
+			if i != j && q.dominates(p) {
+				mask[i] = false
+				break
+			}
+		}
+	}
+	return mask
+}
