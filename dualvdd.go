@@ -167,6 +167,12 @@ type Design struct {
 	// OrgPwr column).
 	OrgPower float64
 
+	// act is the baseline per-signal switching activity from the original
+	// power measurement. Activities depend only on the logic, the seed and
+	// the word count — never on voltages — so the table prepared here serves
+	// every point of a warm sweep.
+	act []float64
+
 	cfg Config
 	obs Observer
 }
@@ -209,11 +215,12 @@ func prepare(ctx context.Context, net *logic.Network, cfg Config, obs Observer) 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	pb, _, err := power.EstimateRandomParallel(res.Circuit, lib, cfg.SimWords, cfg.Seed, cfg.Fclk, cfg.SimWorkers)
+	pb, sres, err := power.EstimateRandomParallel(res.Circuit, lib, cfg.SimWords, cfg.Seed, cfg.Fclk, cfg.SimWorkers)
 	if err != nil {
 		return nil, err
 	}
 	d.OrgPower = pb.Total
+	d.act = sres.Act
 	obs.emit(EventMapped{
 		Circuit: d.Name, Gates: d.Circuit.NumLiveGates(),
 		MinDelay: d.MinDelay, Tspec: d.Tspec, OrgPower: d.OrgPower,
@@ -319,26 +326,32 @@ func (d *Design) coreOptions() core.Options {
 	return o
 }
 
+// coreObserver bridges internal/core progress events onto a flow Observer;
+// nil obs yields nil (no observation).
+func coreObserver(circuit string, obs Observer) core.Observer {
+	if obs == nil {
+		return nil
+	}
+	return func(ce core.Event) {
+		switch ce.Kind {
+		case core.EventMove:
+			obs(EventMove{Circuit: circuit, Algorithm: ce.Algorithm,
+				Round: ce.Round, Gate: ce.Gate})
+		case core.EventRound:
+			obs(EventRoundDone{Circuit: circuit, Algorithm: ce.Algorithm,
+				Round: ce.Round, Moves: ce.Moves, LowGates: ce.LowGates,
+				Power: ce.Power, STAEvals: ce.STAEvals, WorstArrival: ce.WorstArrival})
+		}
+	}
+}
+
 func (d *Design) run(ctx context.Context, name string, algo func(*netlist.Circuit, *cell.Library, core.Options) (*core.Result, error)) (*FlowResult, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	opts := d.coreOptions()
 	opts.Ctx = ctx
-	if obs := d.obs; obs != nil {
-		circuit := d.Name
-		opts.Observer = func(ce core.Event) {
-			switch ce.Kind {
-			case core.EventMove:
-				obs(EventMove{Circuit: circuit, Algorithm: ce.Algorithm,
-					Round: ce.Round, Gate: ce.Gate})
-			case core.EventRound:
-				obs(EventRoundDone{Circuit: circuit, Algorithm: ce.Algorithm,
-					Round: ce.Round, Moves: ce.Moves, LowGates: ce.LowGates,
-					Power: ce.Power, STAEvals: ce.STAEvals, WorstArrival: ce.WorstArrival})
-			}
-		}
-	}
+	opts.Observer = coreObserver(d.Name, d.obs)
 	ckt := d.Circuit.Clone()
 	start := time.Now()
 	cres, err := algo(ckt, d.Lib, opts)

@@ -152,6 +152,27 @@ func NewLibrary(name string, cells []*Cell, vhigh, vlow, vt, alpha float64) (*Li
 	return lib, nil
 }
 
+// AtVlow returns a copy of the library retargeted to a different low rail.
+// The copy shares the cell data (the Cells slice, the per-function and
+// per-name indices, the level converter) with the receiver — cells are
+// voltage-independent; only Vlow and the derived low-voltage derate differ —
+// so cell pointers obtained from either library are interchangeable. The
+// derate is computed with exactly the formula NewLibrary uses, making the
+// retargeted library bit-identical to a from-scratch build at the same pair.
+// This is what lets a sweep share one prepared circuit across its VDDL axis.
+func (l *Library) AtVlow(vlow float64) (*Library, error) {
+	if vlow >= l.Vhigh {
+		return nil, fmt.Errorf("cell: Vlow %.2f must be below Vhigh %.2f", vlow, l.Vhigh)
+	}
+	if vlow <= l.Vt {
+		return nil, fmt.Errorf("cell: Vlow %.2f must exceed Vt %.2f", vlow, l.Vt)
+	}
+	cp := *l
+	cp.Vlow = vlow
+	cp.derate = voltageFactor(vlow, l.Vt, l.Alpha) / voltageFactor(l.Vhigh, l.Vt, l.Alpha)
+	return &cp, nil
+}
+
 // LowDerate returns the delay multiplier applied to cells powered at Vlow.
 // It is strictly greater than 1: low-voltage gates are slower.
 func (l *Library) LowDerate() float64 { return l.derate }

@@ -83,11 +83,22 @@ func cvsOn(inc *sta.Incremental, ckt *netlist.Circuit, opts *Options, algo strin
 // RunCVS applies CVS once and reports circuit-level results, for symmetric
 // use with Dscale and Gscale.
 func RunCVS(ckt *netlist.Circuit, lib *cell.Library, opts Options) (*Result, error) {
-	areaBefore := ckt.Area()
 	inc, err := sta.NewIncremental(ckt, lib, opts.Tspec)
 	if err != nil {
 		return nil, err
 	}
+	return RunCVSOn(inc, ckt, lib, opts)
+}
+
+// RunCVSOn is RunCVS on a caller-supplied incremental engine whose annotation
+// is already settled for ckt under lib — the warm-sweep entry point: one
+// baseline engine (one full analysis) serves many runs, each fenced by the
+// caller's Checkpoint/Rollback. Evaluation counts in events and the Result
+// are deltas from run entry, so a warm run reports exactly what a cold one
+// would.
+func RunCVSOn(inc *sta.Incremental, ckt *netlist.Circuit, lib *cell.Library, opts Options) (*Result, error) {
+	areaBefore := ckt.Area()
+	opts.evalsBase = inc.Evals()
 	r, err := cvsOn(inc, ckt, &opts, "CVS", 1)
 	if err != nil {
 		return nil, err
@@ -97,16 +108,20 @@ func RunCVS(ckt *netlist.Circuit, lib *cell.Library, opts Options) (*Result, err
 	}
 	opts.emit(Event{
 		Algorithm: "CVS", Kind: EventRound, Round: 1, Moves: r.Lowered,
-		LowGates: ckt.NumLowGates(), STAEvals: inc.Evals(), WorstArrival: inc.WorstArrival(),
+		LowGates: ckt.NumLowGates(), STAEvals: inc.Evals() - opts.evalsBase, WorstArrival: inc.WorstArrival(),
 	})
-	return &Result{
+	res := &Result{
 		Lowered:      ckt.NumLowGates(),
 		LCs:          ckt.NumLCs(),
 		AreaIncrease: ckt.Area()/areaBefore - 1,
 		Iterations:   1,
 		TCB:          r.TCB,
-		STAEvals:     inc.Evals(),
-	}, nil
+		STAEvals:     inc.Evals() - opts.evalsBase,
+	}
+	if opts.Activities != nil {
+		res.Act = opts.Activities
+	}
+	return res, nil
 }
 
 // selfCheck cross-validates the incremental engine against a fresh full

@@ -349,25 +349,45 @@ func (st *dscaleState) verify() error {
 // work from live-gates to the size of the disturbed region while producing
 // the exact decisions of a full rescan.
 func Dscale(ckt *netlist.Circuit, lib *cell.Library, opts Options) (*Result, error) {
-	areaBefore := ckt.Area()
 	inc, err := sta.NewIncremental(ckt, lib, opts.Tspec)
 	if err != nil {
 		return nil, err
 	}
+	return DscaleOn(inc, ckt, lib, opts)
+}
+
+// DscaleOn is Dscale on a caller-supplied incremental engine whose annotation
+// is already settled for ckt under lib — the warm-sweep entry point. With
+// Options.Activities set the run is simulation-free; with KeepJournal set the
+// caller's Checkpoint mark survives and one Rollback undoes the whole run.
+func DscaleOn(inc *sta.Incremental, ckt *netlist.Circuit, lib *cell.Library, opts Options) (*Result, error) {
+	areaBefore := ckt.Area()
+	opts.evalsBase = inc.Evals()
 	if _, err := cvsOn(inc, ckt, &opts, "Dscale", 0); err != nil {
 		return nil, err
 	}
 	// Switching activities are a property of the logic alone: voltage moves
 	// never change them, and the level converters inserted below are buffers
 	// whose output toggles exactly like their source. One simulation serves
-	// the whole run; LC activities are aliased on insertion.
-	simStart := time.Now()
-	simRes, err := sim.RunParallel(ckt, opts.SimWords, opts.Seed, opts.SimWorkers)
-	if err != nil {
-		return nil, err
+	// the whole run; LC activities are aliased on insertion. A caller-supplied
+	// table (Options.Activities) serves even wider — one simulation per
+	// circuit across a whole sweep. The three-index slice expression caps the
+	// shared table's capacity so the aliasing appends below copy instead of
+	// scribbling on it.
+	var act []float64
+	var simTime time.Duration
+	if opts.Activities != nil {
+		act = opts.Activities[:len(opts.Activities):len(opts.Activities)]
+	} else {
+		simStart := time.Now()
+		simRes, err := sim.RunParallel(ckt, opts.SimWords, opts.Seed, opts.SimWorkers)
+		if err != nil {
+			return nil, err
+		}
+		simTime = time.Since(simStart)
+		act = simRes.Act
 	}
-	simTime := time.Since(simStart)
-	st := newDscaleState(ckt, lib, inc, &opts, simRes.Act)
+	st := newDscaleState(ckt, lib, inc, &opts, act)
 	res := &Result{}
 	for {
 		if err := opts.interrupted(); err != nil {
@@ -424,7 +444,9 @@ func Dscale(ckt *netlist.Circuit, lib *cell.Library, opts Options) (*Result, err
 			opts.emit(Event{Algorithm: "Dscale", Kind: EventMove, Round: res.Iterations + 1, Gate: gi})
 		}
 		st.bypassRedundantLCs()
-		inc.Commit() // moves are final; cap journal growth
+		if !opts.KeepJournal {
+			inc.Commit() // moves are final; cap journal growth
+		}
 		res.Iterations++
 
 		// update_timing plus a safety net: the per-candidate check is
@@ -437,16 +459,19 @@ func Dscale(ckt *netlist.Circuit, lib *cell.Library, opts Options) (*Result, err
 				Algorithm: "Dscale", Kind: EventRound, Round: res.Iterations,
 				Moves: len(lowSet), LowGates: ckt.NumLowGates(),
 				Power:    st.powerTotal,
-				STAEvals: inc.Evals(), WorstArrival: inc.WorstArrival(),
+				STAEvals: inc.Evals() - opts.evalsBase, WorstArrival: inc.WorstArrival(),
 			})
 		}
 	}
 	res.Lowered = ckt.NumLowGates()
 	res.LCs = ckt.NumLCs()
 	res.AreaIncrease = ckt.Area()/areaBefore - 1
-	res.STAEvals = inc.Evals()
+	res.STAEvals = inc.Evals() - opts.evalsBase
 	res.CandEvals = st.candEvals
 	res.SimTime = simTime
+	if opts.Activities != nil {
+		res.Act = st.act
+	}
 	return res, nil
 }
 

@@ -107,12 +107,24 @@ func tcbEqual(a, b []int) bool {
 // or after MaxIter consecutive pushes that leave the TCB unchanged. No level
 // converters are needed: the low gates always form one cluster.
 func Gscale(ckt *netlist.Circuit, lib *cell.Library, opts Options) (*Result, error) {
-	areaBefore := ckt.Area()
-	maxArea := areaBefore * (1 + opts.MaxAreaIncrease)
 	inc, err := sta.NewIncremental(ckt, lib, opts.Tspec)
 	if err != nil {
 		return nil, err
 	}
+	return GscaleOn(inc, ckt, lib, opts)
+}
+
+// GscaleOn is Gscale on a caller-supplied incremental engine whose annotation
+// is already settled for ckt under lib — the warm-sweep entry point. With
+// KeepJournal set the per-iteration Commits are skipped (the caller's
+// Checkpoint mark survives, one Rollback undoes the whole run) and the final
+// safety check uses the engine's own Meets instead of a fresh full analysis:
+// the engine is bit-identical to Analyze by contract, and the differential
+// suite holds it to that.
+func GscaleOn(inc *sta.Incremental, ckt *netlist.Circuit, lib *cell.Library, opts Options) (*Result, error) {
+	areaBefore := ckt.Area()
+	maxArea := areaBefore * (1 + opts.MaxAreaIncrease)
+	opts.evalsBase = inc.Evals()
 	cvsRes, err := cvsOn(inc, ckt, &opts, "Gscale", 0)
 	if err != nil {
 		return nil, err
@@ -265,7 +277,9 @@ func Gscale(ckt *netlist.Circuit, lib *cell.Library, opts Options) (*Result, err
 		res.Iterations++
 
 		// update_timing + push the TCB with another CVS run.
-		inc.Commit()
+		if !opts.KeepJournal {
+			inc.Commit()
+		}
 		cvsRes, err = cvsOn(inc, ckt, &opts, "Gscale", res.Iterations)
 		if err != nil {
 			return nil, err
@@ -280,20 +294,29 @@ func Gscale(ckt *netlist.Circuit, lib *cell.Library, opts Options) (*Result, err
 		opts.emit(Event{
 			Algorithm: "Gscale", Kind: EventRound, Round: res.Iterations,
 			Moves: resized, LowGates: ckt.NumLowGates(),
-			STAEvals: inc.Evals(), WorstArrival: inc.WorstArrival(),
+			STAEvals: inc.Evals() - opts.evalsBase, WorstArrival: inc.WorstArrival(),
 		})
 		if resized == 0 && !feasible {
 			break // sizing can make no further difference
 		}
 	}
 	// Safety: Gscale must never violate the constraint. The full analysis is
-	// the reference oracle here — one last cross-check of the whole run.
-	t, err := sta.Analyze(ckt, lib, opts.Tspec)
-	if err != nil {
-		return nil, err
-	}
-	if !t.Meets(opts.Eps) {
-		return nil, fmt.Errorf("core: Gscale violated timing (%.6f > %.6f)", t.WorstArrival, opts.Tspec)
+	// the reference oracle here — one last cross-check of the whole run. In
+	// KeepJournal (warm) mode the engine's own annotation stands in for it:
+	// the two are bit-identical by contract, and paying a full analysis per
+	// point is exactly what the warm path exists to avoid.
+	if opts.KeepJournal {
+		if !inc.Meets(opts.Eps) {
+			return nil, fmt.Errorf("core: Gscale violated timing (%.6f > %.6f)", inc.WorstArrival(), opts.Tspec)
+		}
+	} else {
+		t, err := sta.Analyze(ckt, lib, opts.Tspec)
+		if err != nil {
+			return nil, err
+		}
+		if !t.Meets(opts.Eps) {
+			return nil, fmt.Errorf("core: Gscale violated timing (%.6f > %.6f)", t.WorstArrival, opts.Tspec)
+		}
 	}
 	for gi, orig := range originalCell {
 		if ckt.Gates[gi].Cell != orig {
@@ -304,6 +327,9 @@ func Gscale(ckt *netlist.Circuit, lib *cell.Library, opts Options) (*Result, err
 	res.LCs = ckt.NumLCs()
 	res.AreaIncrease = ckt.Area()/areaBefore - 1
 	res.TCB = tcb
-	res.STAEvals = inc.Evals()
+	res.STAEvals = inc.Evals() - opts.evalsBase
+	if opts.Activities != nil {
+		res.Act = opts.Activities
+	}
 	return res, nil
 }

@@ -65,6 +65,23 @@ type Options struct {
 	// fresh full analysis at every algorithm checkpoint. Differential-test
 	// hook; far too slow for production runs.
 	SelfCheck bool
+	// KeepJournal keeps the engine's undo journal intact across the run: the
+	// internal Commit calls that normally cap journal growth are skipped, so
+	// a Checkpoint mark taken by the caller before the run survives it and a
+	// single Rollback restores the pre-run circuit exactly. Gscale's final
+	// full-analysis safety check is also replaced by the engine's own Meets
+	// (the engine is bit-identical to Analyze by contract) — a full analysis
+	// is pointless work when the caller is about to roll everything back.
+	// This is the warm-sweep mode: one baseline engine serves many points.
+	KeepJournal bool
+	// Activities, when non-nil, is the per-signal 0→1 switching activity of
+	// the input circuit (sim.Result.Act layout) and Dscale uses it instead of
+	// running its own simulation. Activities are a property of the logic
+	// alone — voltage moves never change them and inserted level converters
+	// are buffers that toggle exactly like their source — so a table computed
+	// once per circuit serves every voltage point. The slice is never
+	// mutated: Dscale extends a copy and returns it in Result.Act.
+	Activities []float64
 	// Ctx, when non-nil, is checked at every algorithm iteration (every
 	// Dscale round, every Gscale push, and periodically inside the CVS
 	// sweep); a cancelled or expired context aborts the run with ctx.Err()
@@ -76,6 +93,12 @@ type Options struct {
 	// synchronously from the algorithm loop; observers must be cheap and
 	// must not mutate the circuit.
 	Observer Observer
+
+	// evalsBase is the engine's evaluation count at run entry; events and
+	// results report deltas against it, so a run on a shared warm engine
+	// reports exactly what a run on a fresh engine would. Set by the *On
+	// entry points.
+	evalsBase int64
 }
 
 // EventKind discriminates progress events.
@@ -173,6 +196,12 @@ type Result struct {
 	// such visits; under the incremental cache, rounds after the first
 	// touch only the disturbed region.
 	CandEvals int64
+	// Act is the run's per-signal activity table — Options.Activities
+	// extended by the (aliased) activities of inserted level converters.
+	// Set only when Options.Activities was supplied; power.Estimate over it
+	// is bit-identical to a fresh simulate-and-estimate of the scaled
+	// circuit.
+	Act []float64
 	// SimTime is the wall clock the run spent in logic simulation (Dscale's
 	// activity estimation; zero for the sim-free algorithms).
 	SimTime time.Duration

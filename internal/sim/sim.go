@@ -15,9 +15,27 @@ package sim
 import (
 	"fmt"
 	"math/bits"
+	"sync/atomic"
 
 	"dualvdd/internal/netlist"
 )
+
+// runs and wordEvals are process-wide instrumentation: how many compiled
+// simulations ran and how many word×gate evaluations they spent. The
+// warm-vs-cold sweep benchmark reads them to quantify the simulations a
+// shared activity table avoids; they have no functional effect.
+var (
+	runs      atomic.Int64
+	wordEvals atomic.Int64
+)
+
+// Runs returns the process-wide count of compiled simulation runs.
+func Runs() int64 { return runs.Load() }
+
+// WordEvals returns the process-wide count of word×gate evaluations spent by
+// compiled simulation runs — the work metric a run of w words over g live
+// gates pays w·g of.
+func WordEvals() int64 { return wordEvals.Load() }
 
 // Result holds per-signal switching statistics.
 type Result struct {
@@ -64,6 +82,8 @@ func RunParallel(c *netlist.Circuit, words int, seed uint64, workers int) (*Resu
 	if err != nil {
 		return nil, err
 	}
+	runs.Add(1)
+	wordEvals.Add(int64(words) * int64(c.NumLiveGates()))
 	return p.Run(words, seed, workers)
 }
 

@@ -128,6 +128,33 @@ func NewIncremental(ckt *netlist.Circuit, lib *cell.Library, tspec float64) (*In
 // Tspec returns the timing constraint the engine analyses against.
 func (t *Incremental) Tspec() float64 { return t.tspec }
 
+// Library returns the cell library the engine times against.
+func (t *Incremental) Library() *cell.Library { return t.lib }
+
+// SetLibrary swaps the engine's library without re-analysing. It is only
+// legal when the swap preserves the annotation bit for bit: the new library
+// must share the old one's cell data and wire parameters (cell.Library.AtVlow
+// guarantees this) and every live gate must sit at VHigh with no level
+// converters present — at that baseline the derate of every instance is
+// exactly 1.0 under any low rail, so arrivals, requireds, slacks and loads
+// are Vlow-independent. A warm sweep calls this between points to retarget
+// one baseline engine across its VDDL axis. The engine checks the gate
+// condition and refuses the swap otherwise.
+func (t *Incremental) SetLibrary(lib *cell.Library) error {
+	if lib.Vhigh != t.lib.Vhigh || lib.WireCapPerFanout != t.lib.WireCapPerFanout ||
+		lib.POLoadCap != t.lib.POLoadCap {
+		return fmt.Errorf("sta: SetLibrary would change high-rail timing parameters")
+	}
+	for _, g := range t.ckt.Gates {
+		if !g.Dead && (g.Volt != cell.VHigh || g.IsLC) {
+			return fmt.Errorf("sta: SetLibrary on a non-baseline circuit (gate %s is %s/LC=%v)",
+				g.Name, g.Volt, g.IsLC)
+		}
+	}
+	t.lib = lib
+	return nil
+}
+
 // WorstArrival returns the latest primary-output arrival time.
 func (t *Incremental) WorstArrival() float64 { return t.worst }
 
@@ -150,7 +177,10 @@ func (t *Incremental) Order() []int {
 	}
 	order := make([]int, 0, len(t.ckt.Gates))
 	for gi, g := range t.ckt.Gates {
-		if !g.Dead {
+		// prio < 0 marks gates that were already dead at construction; they
+		// were absent from the original order and must stay absent from any
+		// rebuild (a Rollback-revived gate keeps its non-negative prio).
+		if !g.Dead && t.prio[gi] >= 0 {
 			order = append(order, gi)
 		}
 	}

@@ -27,6 +27,7 @@ type Local struct {
 	workers    int
 	cacheLimit int
 	history    int
+	warmLimit  int
 
 	mu       sync.Mutex
 	jobs     map[JobID]*localJob
@@ -36,6 +37,8 @@ type Local struct {
 	idle     chan struct{} // closed when the worker pool exits
 	cache    map[string]*list.Element
 	cacheLRU *list.List // front = most recent; values are *cacheEntry
+	warm     map[string]*list.Element
+	warmLRU  *list.List // front = most recent; values are *warmEntry
 	metrics  Metrics
 }
 
@@ -43,6 +46,19 @@ type cacheEntry struct {
 	key     string
 	design  *DesignInfo
 	results []*FlowResult
+}
+
+// warmEntry is one warm-prep group: every job whose warmPrepKey matches
+// shares the WarmDesign built by the group's first runner. The build runs
+// exactly once (sync.Once) under the background context — the group outlives
+// any one job, so a member's cancellation must not poison it. A failed build
+// is cached too: the failure is a deterministic property of the circuit and
+// config, so every member fails identically instead of rebuilding in a loop.
+type warmEntry struct {
+	key  string
+	once sync.Once
+	wd   *WarmDesign
+	err  error
 }
 
 // localJob is one submission's full record: spec, lifecycle state, the
@@ -110,6 +126,23 @@ func LocalJobHistory(n int) LocalOption {
 	}
 }
 
+// LocalWarmPrep enables warm prepared-state sharing and bounds how many
+// prepared groups stay resident (0, the default, disables it). With it on,
+// jobs whose circuit and high-rail configuration match share one prepared
+// state — mapped netlist, baseline timing engine, activity table — and each
+// job re-converges only its own low rail on it instead of rebuilding
+// everything from scratch. Results, job content addresses and cache behavior
+// are bit-identical to cold execution (the differential suite holds them to
+// it); only the wall clock and the evaluation totals change. Past the bound
+// the least-recently-used group is dropped and rebuilt on next use.
+func LocalWarmPrep(n int) LocalOption {
+	return func(l *Local) {
+		if n >= 0 {
+			l.warmLimit = n
+		}
+	}
+}
+
 // NewLocal builds a Local runner and starts its worker pool.
 func NewLocal(opts ...LocalOption) *Local {
 	l := &Local{
@@ -120,6 +153,8 @@ func NewLocal(opts ...LocalOption) *Local {
 		idle:       make(chan struct{}),
 		cache:      make(map[string]*list.Element),
 		cacheLRU:   list.New(),
+		warm:       make(map[string]*list.Element),
+		warmLRU:    list.New(),
 	}
 	for _, opt := range opts {
 		opt(l)
@@ -325,10 +360,13 @@ func (l *Local) Cancel(ctx context.Context, id JobID) error {
 	j.mu.Lock()
 	state := j.status.State
 	if state == JobQueued {
-		// Still in the channel: mark it; the worker discards it on dequeue.
-		// The job stays terminal immediately, but its queue slot is only
-		// reclaimed at that dequeue — the JobsQueued gauge tracks slot
-		// occupancy, so it keeps counting the carcass until then.
+		// Still in the channel: mark it; the worker discards the carcass on
+		// dequeue. The job is terminal right now, so the JobsQueued gauge —
+		// which tracks logical queued jobs, not channel-slot occupancy —
+		// drops here, not at that later dequeue. The state transition under
+		// j.mu makes this branch and the worker's dequeue mutually
+		// exclusive: exactly one of them accounts for the job, and the
+		// gauge can never go negative.
 		j.status.State = JobCancelled
 		j.status.Error = context.Canceled.Error()
 		j.bump()
@@ -336,6 +374,7 @@ func (l *Local) Cancel(ctx context.Context, id JobID) error {
 		j.cancel()
 		close(j.done)
 		l.mu.Lock()
+		l.metrics.JobsQueued--
 		l.metrics.JobsCancelled++
 		l.mu.Unlock()
 		l.retire(j)
@@ -354,6 +393,7 @@ func (l *Local) Metrics() Metrics {
 	defer l.mu.Unlock()
 	m := l.metrics
 	m.CacheEntries = l.cacheLRU.Len()
+	m.PrepGroups = l.warmLRU.Len()
 	return m
 }
 
@@ -402,10 +442,9 @@ func (j *localJob) publish(ev Event) {
 func (l *Local) runJob(j *localJob) {
 	j.mu.Lock()
 	if j.status.State != JobQueued { // cancelled while waiting
+		// Cancel already took the job off the JobsQueued gauge when it made
+		// the job terminal; this dequeue only frees the channel slot.
 		j.mu.Unlock()
-		l.mu.Lock()
-		l.metrics.JobsQueued-- // its queue slot is free now
-		l.mu.Unlock()
 		return
 	}
 	j.status.State = JobRunning
@@ -494,18 +533,13 @@ func (l *Local) retire(j *localJob) {
 // transport-shaped, and scaled netlists must not pin memory in the event
 // log or job history (in-process callers who want the netlist use Flow).
 func (l *Local) execute(j *localJob) (*DesignInfo, []*FlowResult, error) {
+	if l.warmLimit > 0 {
+		return l.executeWarm(j)
+	}
 	flow := New(
 		FromConfig(j.spec.Config),
 		WithAlgorithms(j.spec.algorithms()...),
-		WithObserver(func(ev Event) {
-			if er, ok := ev.(EventResult); ok && er.Result != nil && er.Result.Circuit != nil {
-				res := *er.Result
-				res.Circuit = nil
-				er.Result = &res
-				ev = er
-			}
-			j.publish(ev)
-		}),
+		WithObserver(jobObserver(j)),
 	)
 	d, err := flow.Prepare(j.ctx, j.net)
 	if err != nil {
@@ -520,6 +554,88 @@ func (l *Local) execute(j *localJob) (*DesignInfo, []*FlowResult, error) {
 		return design, nil, err
 	}
 	return design, stripResults(results), nil
+}
+
+// jobObserver publishes flow events onto the job's log, Circuit-stripped.
+func jobObserver(j *localJob) Observer {
+	return func(ev Event) {
+		if er, ok := ev.(EventResult); ok && er.Result != nil && er.Result.Circuit != nil {
+			res := *er.Result
+			res.Circuit = nil
+			er.Result = &res
+			ev = er
+		}
+		j.publish(ev)
+	}
+}
+
+// executeWarm runs the job on its warm-prep group's shared state: the mapped
+// netlist, baseline timing engine and activity table are built once per group
+// and every member only re-converges its own low rail. The first member to
+// arrive builds; the EventMapped the build does not replay per job is
+// synthesized onto each member's log, so Watch streams look the same warm and
+// cold (the same parity completeFromCache keeps for cache hits).
+func (l *Local) executeWarm(j *localJob) (*DesignInfo, []*FlowResult, error) {
+	key, err := warmPrepKey(j.net, j.spec.Config)
+	if err != nil {
+		return nil, nil, err
+	}
+	entry := l.warmGet(key)
+	built := false
+	entry.once.Do(func() {
+		built = true
+		flow := New(FromConfig(j.spec.Config))
+		entry.wd, entry.err = flow.PrepareWarm(context.Background(), j.net)
+	})
+	l.mu.Lock()
+	if built {
+		l.metrics.PrepBuilds++
+	} else {
+		l.metrics.PrepReuses++
+	}
+	l.mu.Unlock()
+	if entry.err != nil {
+		return nil, nil, entry.err
+	}
+	if err := j.ctx.Err(); err != nil {
+		return nil, nil, err // cancelled while the group was being prepared
+	}
+	d := entry.wd.Design
+	design := &DesignInfo{
+		Name: d.Name, Gates: d.Circuit.NumLiveGates(),
+		MinDelay: d.MinDelay, Tspec: d.Tspec, OrgPower: d.OrgPower,
+	}
+	j.publish(EventMapped{
+		Circuit: design.Name, Gates: design.Gates,
+		MinDelay: design.MinDelay, Tspec: design.Tspec, OrgPower: design.OrgPower,
+	})
+	j.mu.Lock()
+	j.status.Warm = true
+	j.mu.Unlock()
+	results, err := entry.wd.RunAt(j.ctx, j.spec.Config.Vlow, j.spec.algorithms(), jobObserver(j))
+	if err != nil {
+		return design, nil, err
+	}
+	return design, stripResults(results), nil
+}
+
+// warmGet returns the job's warm-prep group, creating it (and evicting the
+// least-recently-used group past the bound) as needed.
+func (l *Local) warmGet(key string) *warmEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if el, ok := l.warm[key]; ok {
+		l.warmLRU.MoveToFront(el)
+		return el.Value.(*warmEntry)
+	}
+	e := &warmEntry{key: key}
+	l.warm[key] = l.warmLRU.PushFront(e)
+	for l.warmLRU.Len() > l.warmLimit {
+		oldest := l.warmLRU.Back()
+		l.warmLRU.Remove(oldest)
+		delete(l.warm, oldest.Value.(*warmEntry).key)
+	}
+	return e
 }
 
 // cacheGet looks a key up and marks it most recent; call with l.mu held.

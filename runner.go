@@ -226,6 +226,11 @@ type JobStatus struct {
 	// Cached reports that the job was answered from the result cache
 	// without recomputation.
 	Cached bool `json:"cached,omitempty"`
+	// Warm reports that the job executed on a shared warm-prepared state
+	// (LocalWarmPrep) instead of a from-scratch flow. Warm results are
+	// bit-identical to cold ones; the flag exists for reuse accounting.
+	// Cache hits leave it false — they did not execute at all.
+	Warm bool `json:"warm,omitempty"`
 	// Design summarizes the prepared circuit once mapping finished.
 	Design *DesignInfo `json:"design,omitempty"`
 	// Results holds one FlowResult per requested algorithm, in request
@@ -252,6 +257,13 @@ type Metrics struct {
 	CacheHits    int64 `json:"cache_hits"`
 	CacheMisses  int64 `json:"cache_misses"`
 	CacheEntries int   `json:"cache_entries"`
+	// PrepBuilds and PrepReuses count warm prepared-state constructions and
+	// the runs that rode an existing one (LocalWarmPrep); PrepGroups is the
+	// current resident group count. Reuses/Builds is the warm path's
+	// amortization ratio.
+	PrepBuilds int64 `json:"prep_builds,omitempty"`
+	PrepReuses int64 `json:"prep_reuses,omitempty"`
+	PrepGroups int   `json:"prep_groups,omitempty"`
 	// STAEvals and CandEvals total the incremental-timing and Dscale
 	// candidate evaluations spent by completed runs; SimNs totals their
 	// logic-simulation wall clock. Cache hits add nothing — the triple is

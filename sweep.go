@@ -118,10 +118,7 @@ func (s Sweep) Points() ([]SweepPoint, error) {
 	if len(s.Circuits) == 0 {
 		return nil, errors.New("dualvdd: sweep has no circuits")
 	}
-	base := s.Base
-	if base == (Config{}) {
-		base = DefaultConfig()
-	}
+	base := mergeDefaults(s.Base)
 	baseAlgos := s.Algorithms
 	if len(baseAlgos) == 0 {
 		baseAlgos = Algorithms()
@@ -184,11 +181,54 @@ func (s Sweep) Points() ([]SweepPoint, error) {
 	return points, nil
 }
 
+// mergeDefaults fills every zero field of a sweep base from DefaultConfig,
+// field by field. The old rule — defaults only when the whole struct was
+// zero — was a pitfall: a Base that set nothing but Seed silently ran with
+// zero voltages and failed validation at the first point. Field-wise merging
+// means "set what you care about, inherit the paper's values for the rest".
+// Only fields whose default is non-zero are merged, so every zero-is-
+// meaningful knob keeps working: SimWorkers 0 already means GOMAXPROCS (the
+// default), and the greedy ablation booleans default to false. The one
+// shape the rule makes inexpressible in Base is an exact zero for
+// MaxAreaIncrease or MaxIter (both merge to the paper's 0.10 / 10); a sweep
+// that wants Gscale pinned down says so with a vanishingly small positive
+// value instead. That corner is documented here on purpose — it is far
+// rarer than the partially filled Base the old rule broke on.
+func mergeDefaults(base Config) Config {
+	def := DefaultConfig()
+	if base.Vhigh == 0 {
+		base.Vhigh = def.Vhigh
+	}
+	if base.Vlow == 0 {
+		base.Vlow = def.Vlow
+	}
+	if base.SlackFactor == 0 {
+		base.SlackFactor = def.SlackFactor
+	}
+	if base.MaxAreaIncrease == 0 {
+		base.MaxAreaIncrease = def.MaxAreaIncrease
+	}
+	if base.MaxIter == 0 {
+		base.MaxIter = def.MaxIter
+	}
+	if base.SimWords == 0 {
+		base.SimWords = def.SimWords
+	}
+	if base.Seed == 0 {
+		base.Seed = def.Seed
+	}
+	if base.Fclk == 0 {
+		base.Fclk = def.Fclk
+	}
+	return base
+}
+
 // sweepRun collects Run's options.
 type sweepRun struct {
 	inFlight int
 	obs      Observer
 	forward  bool
+	warm     bool
 }
 
 // SweepOption configures Sweep.Run.
@@ -224,6 +264,20 @@ func SweepJobEvents(on bool) SweepOption {
 	return func(r *sweepRun) { r.forward = on }
 }
 
+// SweepWarm schedules the sweep for warm prepared-state reuse: each
+// circuit's points run as one sequential chain in expansion order (so
+// points that share a prepared state arrive back to back on the runner and
+// the warm groups of a LocalWarmPrep runner are never contended), while
+// distinct circuits still run in parallel up to SweepInFlight. The option
+// changes scheduling only — results stay in expansion order and every point
+// computes exactly what it would cold; pair it with LocalWarmPrep on the
+// runner to actually share the prepared work. On error the sweep reports the
+// earliest-chain failure; later points of a failed chain are skipped (nil
+// holes), other chains run to completion or cancellation like cold Run.
+func SweepWarm(on bool) SweepOption {
+	return func(r *sweepRun) { r.warm = on }
+}
+
 // Run expands the sweep and executes every point through the runner,
 // returning the results in expansion order. Submission fans out across at
 // most SweepInFlight points; a runner whose queue is momentarily full is
@@ -245,21 +299,54 @@ func (s Sweep) Run(ctx context.Context, r Runner, opts ...SweepOption) ([]SweepP
 		return nil, err
 	}
 	var cached atomic.Int64
-	results, err := BatchMap(ctx, Batch{Workers: run.inFlight}, len(points),
-		func(ctx context.Context, i int) (SweepPointResult, error) {
-			st, err := runSweepPoint(ctx, r, points[i], run)
-			if err != nil {
-				return SweepPointResult{}, err
+	runPoint := func(ctx context.Context, i int) (SweepPointResult, error) {
+		st, err := runSweepPoint(ctx, r, points[i], run)
+		if err != nil {
+			return SweepPointResult{}, err
+		}
+		res := SweepPointResult{Point: points[i], Status: st}
+		if run.obs != nil {
+			run.obs.emit(sweepPointEvent(points[i], len(points), st))
+		}
+		if st.Cached {
+			cached.Add(1)
+		}
+		return res, nil
+	}
+	var results []SweepPointResult
+	if run.warm {
+		// One sequential chain per circuit, chains in parallel. Expansion
+		// order groups each circuit's points contiguously with VDDL varying
+		// fastest, so a chain walks its voltage axis neighbor to neighbor —
+		// exactly the access pattern a warm-prep runner amortizes best.
+		chains := make([][]int, 0, len(s.Circuits))
+		chainOf := map[SweepCircuit]int{}
+		for i, p := range points {
+			ci, ok := chainOf[p.Circuit]
+			if !ok {
+				ci = len(chains)
+				chainOf[p.Circuit] = ci
+				chains = append(chains, nil)
 			}
-			res := SweepPointResult{Point: points[i], Status: st}
-			if run.obs != nil {
-				run.obs.emit(sweepPointEvent(points[i], len(points), st))
-			}
-			if st.Cached {
-				cached.Add(1)
-			}
-			return res, nil
-		})
+			chains[ci] = append(chains[ci], i)
+		}
+		results = make([]SweepPointResult, len(points))
+		// Distinct chains write distinct slots, so the shared slice needs no
+		// lock; failed and skipped slots keep the zero SweepPointResult.
+		_, err = BatchMap(ctx, Batch{Workers: run.inFlight}, len(chains),
+			func(ctx context.Context, c int) (struct{}, error) {
+				for _, i := range chains[c] {
+					res, err := runPoint(ctx, i)
+					if err != nil {
+						return struct{}{}, err
+					}
+					results[i] = res
+				}
+				return struct{}{}, nil
+			})
+	} else {
+		results, err = BatchMap(ctx, Batch{Workers: run.inFlight}, len(points), runPoint)
+	}
 	if err != nil {
 		// Failed and skipped slots hold the zero SweepPointResult, per the
 		// BatchMap contract.
@@ -278,6 +365,11 @@ func (s Sweep) Run(ctx context.Context, r Runner, opts ...SweepOption) ([]SweepP
 	}
 	return results, nil
 }
+
+// sweepDrainTimeout bounds how long a completed point waits for the tail of
+// its forwarded Watch stream before cutting it. Package variable so the
+// stalled-stream regression test can shrink it.
+var sweepDrainTimeout = 2 * time.Second
 
 // runSweepPoint submits one point and waits for its terminal status,
 // retrying a momentarily full queue and cancelling the job if ctx ends
@@ -315,11 +407,18 @@ func runSweepPoint(ctx context.Context, r Runner, pt SweepPoint, run sweepRun) (
 				}
 			}()
 			watchDone = func(jobTerminal bool) {
-				if !jobTerminal {
-					wcancel()
+				if jobTerminal {
+					// The runner owes us a closed channel now, but a stalled
+					// or severed stream (a remote transport mid-failover, a
+					// misbehaving Runner) would otherwise hang the whole
+					// sweep on this drain — bound it, then cut the stream.
+					select {
+					case <-fwd:
+					case <-time.After(sweepDrainTimeout):
+					}
 				}
-				<-fwd
 				wcancel()
+				<-fwd
 			}
 		} else {
 			wcancel()
@@ -367,6 +466,7 @@ func sweepPointEvent(pt SweepPoint, total int, st *JobStatus) EventSweepPoint {
 		SimWords:    pt.Config.SimWords,
 		Algorithms:  append([]Algorithm(nil), pt.Algorithms...),
 		Cached:      st.Cached,
+		Warm:        st.Warm,
 		Results:     st.Results,
 	}
 }

@@ -1,0 +1,171 @@
+package dualvdd
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stalledRunner is a Runner whose Watch stream honors cancellation but never
+// reaches the terminal close a well-behaved runner owes: the shape of a
+// remote transport stuck mid-failover. Jobs themselves complete instantly.
+type stalledRunner struct {
+	submits atomic.Int64
+	cancels atomic.Int64
+}
+
+func (r *stalledRunner) Submit(ctx context.Context, job Job) (JobID, error) {
+	if err := job.Validate(); err != nil {
+		return "", err
+	}
+	return JobID(fmt.Sprintf("stall-%d", r.submits.Add(1))), nil
+}
+
+func (r *stalledRunner) Status(ctx context.Context, id JobID) (*JobStatus, error) {
+	return &JobStatus{ID: id, State: JobDone}, nil
+}
+
+func (r *stalledRunner) Result(ctx context.Context, id JobID) (*JobStatus, error) {
+	return &JobStatus{ID: id, State: JobDone}, nil
+}
+
+// Watch never sends and never closes on its own — only a done ctx ends it.
+func (r *stalledRunner) Watch(ctx context.Context, id JobID) (<-chan Event, error) {
+	out := make(chan Event)
+	go func() {
+		<-ctx.Done()
+		close(out)
+	}()
+	return out, nil
+}
+
+func (r *stalledRunner) Cancel(ctx context.Context, id JobID) error {
+	r.cancels.Add(1)
+	return nil
+}
+
+// TestSweepSurvivesStalledWatchStream pins the drain bound in runSweepPoint:
+// a point whose forwarded Watch stream never closes must not hang the sweep —
+// after sweepDrainTimeout the stream is cut and the point completes on its
+// Result alone.
+func TestSweepSurvivesStalledWatchStream(t *testing.T) {
+	old := sweepDrainTimeout
+	sweepDrainTimeout = 50 * time.Millisecond
+	defer func() { sweepDrainTimeout = old }()
+
+	s := Sweep{
+		Circuits: SweepBenchmarks("rot"),
+		Axes:     Axes{VDDL: []float64{3.3, 4.3}},
+	}
+	r := &stalledRunner{}
+	type outcome struct {
+		results []SweepPointResult
+		err     error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := s.Run(context.Background(), r,
+			SweepObserver(func(Event) {}), SweepJobEvents(true))
+		done <- outcome{res, err}
+	}()
+	select {
+	case out := <-done:
+		if out.err != nil {
+			t.Fatalf("sweep failed: %v", out.err)
+		}
+		if len(out.results) != 2 {
+			t.Fatalf("got %d results, want 2", len(out.results))
+		}
+		for i, pr := range out.results {
+			if pr.Status == nil || pr.Status.State != JobDone {
+				t.Fatalf("point %d not done: %+v", i, pr.Status)
+			}
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("sweep hung on a stalled Watch stream")
+	}
+}
+
+// TestMergeDefaults pins the field-wise default rule that replaced the old
+// all-or-nothing one: every zero field of a sweep Base inherits the paper's
+// default individually, explicit values always survive, and zero-is-
+// meaningful knobs (SimWorkers, the greedy ablation booleans) pass through
+// untouched.
+func TestMergeDefaults(t *testing.T) {
+	def := DefaultConfig()
+	cases := []struct {
+		name string
+		base Config
+		want Config
+	}{
+		{name: "zero base is the full default", base: Config{}, want: def},
+		{
+			// The shape the old rule broke on: one field set, the rest
+			// silently zero — and the first point failed validation.
+			name: "partial base inherits the rest",
+			base: Config{Seed: 7},
+			want: func() Config { c := def; c.Seed = 7; return c }(),
+		},
+		{
+			name: "explicit values survive",
+			base: Config{Vhigh: 3.3, Vlow: 2.4, SlackFactor: 1.5, MaxAreaIncrease: 0.2,
+				MaxIter: 3, SimWords: 64, Seed: 9, Fclk: 1e6},
+			want: Config{Vhigh: 3.3, Vlow: 2.4, SlackFactor: 1.5, MaxAreaIncrease: 0.2,
+				MaxIter: 3, SimWords: 64, Seed: 9, Fclk: 1e6},
+		},
+		{
+			name: "zero-is-meaningful knobs pass through",
+			base: Config{SimWorkers: 0, GreedySelect: true, GreedySizing: true},
+			want: func() Config {
+				c := def
+				c.SimWorkers = 0
+				c.GreedySelect, c.GreedySizing = true, true
+				return c
+			}(),
+		},
+		{
+			name: "explicit SimWorkers survives",
+			base: Config{SimWorkers: 3},
+			want: func() Config { c := def; c.SimWorkers = 3; return c }(),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := mergeDefaults(tc.base); got != tc.want {
+				t.Fatalf("mergeDefaults(%+v)\n got %+v\nwant %+v", tc.base, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestSweepPointsPartialBase is the end-to-end form of the pitfall: a Base
+// that only sets what it cares about must expand into valid points instead of
+// failing validation with zero voltages.
+func TestSweepPointsPartialBase(t *testing.T) {
+	s := Sweep{
+		Circuits: SweepBenchmarks("rot"),
+		Base:     Config{SimWords: 64, Seed: 11},
+		Axes:     Axes{VDDL: []float64{3.3, 3.7}},
+	}
+	points, err := s.Points()
+	if err != nil {
+		t.Fatalf("partial base failed to expand: %v", err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points, want 2", len(points))
+	}
+	def := DefaultConfig()
+	for i, p := range points {
+		if p.Config.Vhigh != def.Vhigh {
+			t.Fatalf("point %d: Vhigh = %g, want inherited default %g", i, p.Config.Vhigh, def.Vhigh)
+		}
+		if p.Config.SimWords != 64 || p.Config.Seed != 11 {
+			t.Fatalf("point %d: explicit base fields lost: %+v", i, p.Config)
+		}
+		if err := p.Config.Validate(); err != nil {
+			t.Fatalf("point %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package dualvdd
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"dualvdd/internal/blif"
+	"dualvdd/internal/core"
+	"dualvdd/internal/logic"
+	"dualvdd/internal/netlist"
+	"dualvdd/internal/power"
+	"dualvdd/internal/sta"
+)
+
+// WarmDesign is a prepared design plus the reusable execution state of a warm
+// sweep: one working clone of the mapped circuit and one incremental timing
+// engine, built once and then retargeted across voltage points. Everything
+// expensive about a point — the technology mapping, the activity simulation,
+// the baseline full timing analysis — is a property of the circuit alone, not
+// of the low rail, so a sweep that re-derives it per point pays the same bill
+// over and over. RunAt instead swaps the library's low rail (an annotation
+// no-op at the all-VHigh baseline), runs each algorithm inside a
+// Checkpoint/Rollback fence on the shared engine, and reads power from the
+// baseline activity table. Results are bit-identical to standalone Flow runs
+// (the cold/warm differential suite holds them to it); only the wall clock and
+// the evaluation totals differ.
+//
+// A WarmDesign serializes its runs: RunAt holds an internal lock, so
+// concurrent callers take turns on the one engine. Sweep-level parallelism
+// comes from using one WarmDesign per circuit, which is exactly how the warm
+// scheduler partitions its grid.
+type WarmDesign struct {
+	// Design is the prepared benchmark the runs share. Its pristine Circuit
+	// is never touched; the WarmDesign works on its own clone.
+	Design *Design
+
+	mu   sync.Mutex
+	work *netlist.Circuit
+	inc  *sta.Incremental
+	runs int64
+}
+
+// NewWarmDesign builds the shared execution state from a prepared design: one
+// working clone and one incremental engine (one full timing analysis — the
+// last one until the WarmDesign is dropped).
+func NewWarmDesign(d *Design) (*WarmDesign, error) {
+	work := d.Circuit.Clone()
+	inc, err := sta.NewIncremental(work, d.Lib, d.Tspec)
+	if err != nil {
+		return nil, err
+	}
+	return &WarmDesign{Design: d, work: work, inc: inc}, nil
+}
+
+// PrepareWarm maps a logic network, measures its original power and wraps the
+// design for warm multi-point execution.
+func (f *Flow) PrepareWarm(ctx context.Context, net *logic.Network) (*WarmDesign, error) {
+	d, err := prepare(ctx, net, f.cfg, f.obs)
+	if err != nil {
+		return nil, err
+	}
+	return NewWarmDesign(d)
+}
+
+// PrepareWarmBenchmark is PrepareWarm for one of the MCNC stand-in
+// benchmarks.
+func (f *Flow) PrepareWarmBenchmark(ctx context.Context, name string) (*WarmDesign, error) {
+	d, err := prepareBenchmark(ctx, name, f.cfg, f.obs)
+	if err != nil {
+		return nil, err
+	}
+	return NewWarmDesign(d)
+}
+
+// Runs returns how many algorithm executions the shared state has served —
+// the denominator of the warm path's amortization.
+func (w *WarmDesign) Runs() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.runs
+}
+
+// RunAt executes the given algorithms (all three when empty) at low rail
+// vlow, reusing the shared prepared state. Per algorithm it checkpoints the
+// engine, runs with the journal intact and the baseline activity table, reads
+// the final power from the table, and rolls the working circuit back to the
+// all-VHigh baseline — no mapping, no simulation, no full analysis. Results
+// are bit-identical to Design.RunAlgorithm at the same vlow, with two
+// deliberate exceptions: Runtime/SimTime measure the (much smaller) warm work,
+// and Circuit is nil — the working clone is rolled back, so there is no scaled
+// netlist to hand out. A cancelled context aborts within one algorithm
+// iteration with ctx.Err(); the baseline is restored before returning, so the
+// WarmDesign stays valid for further points.
+func (w *WarmDesign) RunAt(ctx context.Context, vlow float64, algos []Algorithm, obs Observer) ([]*FlowResult, error) {
+	if len(algos) == 0 {
+		algos = Algorithms()
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	lib, err := w.Design.Lib.AtVlow(vlow)
+	if err != nil {
+		return nil, fmt.Errorf("dualvdd: warm run on %s: %w", w.Design.Name, err)
+	}
+	// At the all-VHigh baseline every derate is exactly 1.0, so swapping the
+	// low rail preserves the engine's annotation bit for bit.
+	if err := w.inc.SetLibrary(lib); err != nil {
+		return nil, fmt.Errorf("dualvdd: warm run on %s: %w", w.Design.Name, err)
+	}
+	results := make([]*FlowResult, 0, len(algos))
+	for _, algo := range algos {
+		res, err := w.runOne(ctx, algo, obs)
+		if err != nil {
+			return results, err
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// runOne executes one algorithm inside a Checkpoint/Rollback fence. The
+// caller holds w.mu and has already retargeted the engine's library.
+func (w *WarmDesign) runOne(ctx context.Context, algo Algorithm, obs Observer) (*FlowResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	d := w.Design
+	lib := w.inc.Library()
+	opts := d.coreOptions()
+	opts.Ctx = ctx
+	opts.Observer = coreObserver(d.Name, obs)
+	opts.KeepJournal = true
+	opts.Activities = d.act
+
+	mark := w.inc.Checkpoint()
+	// Rollback before returning on every path: the baseline must be restored
+	// even when the algorithm aborts mid-run (cancellation, a violated
+	// constraint), or the shared state would poison every later point.
+	defer w.inc.Rollback(mark)
+
+	start := time.Now()
+	var cres *core.Result
+	var err error
+	switch algo {
+	case AlgoCVS:
+		cres, err = core.RunCVSOn(w.inc, w.work, lib, opts)
+	case AlgoDscale:
+		cres, err = core.DscaleOn(w.inc, w.work, lib, opts)
+	case AlgoGscale:
+		cres, err = core.GscaleOn(w.inc, w.work, lib, opts)
+	default:
+		return nil, fmt.Errorf("dualvdd: unknown algorithm %q", algo)
+	}
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("dualvdd: %s on %s: %w", algo, d.Name, err)
+	}
+	elapsed := time.Since(start)
+	// The constraint must hold after every algorithm — verify, don't trust.
+	// The engine's annotation is bit-identical to a fresh Analyze by contract
+	// (the differential suite holds it to that), so its own verdict stands in
+	// for the cold path's full re-analysis.
+	if !w.inc.Meets(1e-6) {
+		return nil, fmt.Errorf("dualvdd: %s on %s violated timing: %.4f > %.4f",
+			algo, d.Name, w.inc.WorstArrival(), d.Tspec)
+	}
+	// Power from the baseline activity table (extended by the run's aliased
+	// level-converter activities) — bit-identical to the cold path's fresh
+	// simulate-and-estimate, without the simulation.
+	pb := power.Estimate(w.work, lib, cres.Act, d.cfg.Fclk)
+	gates := 0
+	for _, g := range w.work.Gates {
+		if !g.Dead && !g.IsLC {
+			gates++
+		}
+	}
+	fr := &FlowResult{
+		Algorithm:    string(algo),
+		Power:        pb.Total,
+		ImprovePct:   (d.OrgPower - pb.Total) / d.OrgPower * 100,
+		Gates:        gates,
+		LowGates:     w.work.NumLowGates(),
+		LCs:          w.work.NumLCs(),
+		Sized:        cres.Sized,
+		AreaIncrease: w.work.Area()/d.Circuit.Area() - 1,
+		WorstSlack:   d.Tspec - w.inc.WorstArrival(),
+		Runtime:      elapsed,
+		STAEvals:     cres.STAEvals,
+		CandEvals:    cres.CandEvals,
+		SimTime:      0,
+	}
+	if gates > 0 {
+		fr.LowRatio = float64(fr.LowGates) / float64(gates)
+	}
+	w.runs++
+	obs.emit(EventResult{Circuit: d.Name, Result: fr})
+	return fr, nil
+}
+
+// warmPrepKey is the content address of a warm-prep group: jobs with the same
+// key share one WarmDesign. It hashes the canonical BLIF of the input network
+// and the Config with Vlow and SimWorkers zeroed — the mapping, the timing
+// constraint, the activity table and the original power are all properties of
+// the circuit under the high rail, never of the low one (the library is
+// retargeted per point via AtVlow), and SimWorkers is a pure scheduling knob.
+// The algorithm list is excluded too: one prepared state serves any algorithm.
+func warmPrepKey(net *logic.Network, cfg Config) (string, error) {
+	var canon bytes.Buffer
+	if err := blif.WriteNetwork(&canon, net); err != nil {
+		return "", err
+	}
+	hashCfg := cfg
+	hashCfg.Vlow = 0
+	hashCfg.SimWorkers = 0
+	b, err := json.Marshal(hashCfg)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "dualvdd-warmprep/1\n%s\n", b)
+	h.Write(canon.Bytes())
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
