@@ -8,26 +8,52 @@
 //	var runner dualvdd.Runner = dualvdd.NewLocal()          // in-process
 //	runner, err := client.New("http://host:8080")           // remote
 //	id, err := runner.Submit(ctx, dualvdd.BenchmarkJob("C880"))
+//
+// The client absorbs transient infrastructure failures so callers see the
+// Runner contract, not the network: requests that die of a dropped
+// connection, a refused connect, or a 502/503/504 are retried with capped
+// exponential backoff and jitter, and a Watch stream that loses its
+// connection mid-job reconnects with Last-Event-ID and resumes exactly
+// where it left off. Only an explicit `event: end` frame from the server
+// closes a Watch channel as "complete".
 package client
 
 import (
 	"bufio"
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
+	"net"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"dualvdd"
 	"dualvdd/internal/report"
 )
 
+// retryPolicy bounds the client's response to transient failure: up to
+// attempts tries per logical call, sleeping base<<n capped at max between
+// them, with jitter so a fleet of clients does not reconnect in lockstep.
+type retryPolicy struct {
+	attempts int
+	base     time.Duration
+	max      time.Duration
+}
+
+var defaultRetry = retryPolicy{attempts: 4, base: 100 * time.Millisecond, max: 2 * time.Second}
+
 // Client is an HTTP-backed Runner.
 type Client struct {
-	base *url.URL
-	http *http.Client
+	base  *url.URL
+	http  *http.Client
+	retry retryPolicy
 }
 
 // Option configures New.
@@ -45,6 +71,24 @@ func WithHTTPClient(hc *http.Client) Option {
 	}
 }
 
+// WithRetry tunes the transient-failure policy: attempts tries per call
+// (1 disables retries), sleeping base, 2*base, 4*base ... capped at max
+// between tries. Non-positive arguments keep the defaults (4 attempts,
+// 100ms base, 2s cap).
+func WithRetry(attempts int, base, max time.Duration) Option {
+	return func(c *Client) {
+		if attempts > 0 {
+			c.retry.attempts = attempts
+		}
+		if base > 0 {
+			c.retry.base = base
+		}
+		if max > 0 {
+			c.retry.max = max
+		}
+	}
+}
+
 // New builds a client for a server base URL like "http://127.0.0.1:8080".
 func New(baseURL string, opts ...Option) (*Client, error) {
 	u, err := url.Parse(baseURL)
@@ -54,7 +98,7 @@ func New(baseURL string, opts ...Option) (*Client, error) {
 	if u.Scheme == "" || u.Host == "" {
 		return nil, fmt.Errorf("client: base URL %q needs a scheme and host", baseURL)
 	}
-	c := &Client{base: u, http: &http.Client{}}
+	c := &Client{base: u, http: &http.Client{}, retry: defaultRetry}
 	for _, opt := range opts {
 		opt(c)
 	}
@@ -74,6 +118,66 @@ func (c *Client) endpoint(path, query string) string {
 	return u.String()
 }
 
+// transientStatusError wraps the API error of a 502/503/504 response so the
+// retry loop can recognize it; Unwrap keeps the Runner sentinel mapping
+// (errors.Is(err, dualvdd.ErrClosed) still holds after retries exhaust).
+type transientStatusError struct{ err error }
+
+func (e transientStatusError) Error() string { return e.err.Error() }
+func (e transientStatusError) Unwrap() error { return e.err }
+
+// transientError reports whether a failed request is worth retrying: the
+// infrastructure hiccups that heal on their own. Context cancellation and
+// deadline are the caller's word and never retried.
+func transientError(err error) bool {
+	switch {
+	case err == nil,
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		return false
+	case errors.As(err, &transientStatusError{}),
+		errors.Is(err, io.EOF),
+		errors.Is(err, io.ErrUnexpectedEOF),
+		errors.Is(err, syscall.ECONNREFUSED),
+		errors.Is(err, syscall.ECONNRESET),
+		errors.Is(err, syscall.EPIPE):
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	// http.Client wraps every transport-level failure in *url.Error; by the
+	// cases above it is not a context error, so the connection itself broke.
+	var ue *url.Error
+	return errors.As(err, &ue)
+}
+
+// backoff returns the sleep before retry attempt n (0-based): base<<n capped
+// at max, then jittered to [d/2, d] so synchronized clients fan out.
+func (c *Client) backoff(n int) time.Duration {
+	d := c.retry.base
+	for i := 0; i < n && d < c.retry.max; i++ {
+		d *= 2
+	}
+	if d > c.retry.max {
+		d = c.retry.max
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// sleepCtx sleeps d or returns early with the context error.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // apiError converts a non-2xx response into an error, mapping the status
 // codes the server emits back onto the Runner sentinels so errors.Is holds
 // across the wire.
@@ -90,19 +194,29 @@ func apiError(resp *http.Response) error {
 	case http.StatusTooManyRequests:
 		return fmt.Errorf("%w (%s)", dualvdd.ErrQueueFull, msg)
 	case http.StatusServiceUnavailable:
-		return fmt.Errorf("%w (%s)", dualvdd.ErrClosed, msg)
+		return transientStatusError{fmt.Errorf("%w (%s)", dualvdd.ErrClosed, msg)}
+	case http.StatusBadGateway, http.StatusGatewayTimeout:
+		return transientStatusError{fmt.Errorf("client: server returned %s: %s", resp.Status, msg)}
 	}
 	return fmt.Errorf("client: server returned %s: %s", resp.Status, msg)
 }
 
-// doJSON performs one request and decodes a JSON body into out.
-func (c *Client) doJSON(ctx context.Context, method, url string, body io.Reader, out any) error {
-	req, err := http.NewRequestWithContext(ctx, method, url, body)
+// doOnce performs one request attempt. The body is a byte slice, not a
+// Reader, precisely so the retry loop can replay it.
+func (c *Client) doOnce(ctx context.Context, method, url string, body []byte, tenant string, out any) error {
+	var r io.Reader
+	if body != nil {
+		r = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, r)
 	if err != nil {
 		return err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", report.ContentTypeJSON)
+	}
+	if tenant != "" {
+		req.Header.Set(report.TenantHeader, tenant)
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
@@ -118,7 +232,25 @@ func (c *Client) doJSON(ctx context.Context, method, url string, body io.Reader,
 	return report.DecodeJSON(resp.Body, out)
 }
 
-// Submit posts the job and returns the server-assigned ID. See
+// doJSON performs a request with the retry policy and decodes a JSON body
+// into out. Submissions are safe to replay: jobs are content-addressed, so a
+// retried POST whose first attempt actually landed is answered from the
+// server's result cache, not recomputed.
+func (c *Client) doJSON(ctx context.Context, method, url string, body []byte, tenant string, out any) error {
+	for attempt := 0; ; attempt++ {
+		err := c.doOnce(ctx, method, url, body, tenant, out)
+		if err == nil || attempt+1 >= c.retry.attempts || !transientError(err) {
+			return err
+		}
+		if sleepCtx(ctx, c.backoff(attempt)) != nil {
+			return err
+		}
+	}
+}
+
+// Submit posts the job and returns the server-assigned ID. A tenant tag set
+// with dualvdd.WithTenant travels along as a header so a fleet coordinator
+// behind the server applies its per-tenant admission policy. See
 // dualvdd.Runner.
 func (c *Client) Submit(ctx context.Context, job dualvdd.Job) (dualvdd.JobID, error) {
 	if err := job.Validate(); err != nil {
@@ -129,7 +261,8 @@ func (c *Client) Submit(ctx context.Context, job dualvdd.Job) (dualvdd.JobID, er
 		return "", err
 	}
 	var res report.JobResource
-	if err := c.doJSON(ctx, http.MethodPost, c.endpoint(report.JobsPath, ""), &buf, &res); err != nil {
+	tenant := dualvdd.TenantFromContext(ctx)
+	if err := c.doJSON(ctx, http.MethodPost, c.endpoint(report.JobsPath, ""), buf.Bytes(), tenant, &res); err != nil {
 		return "", err
 	}
 	return res.ID, nil
@@ -139,7 +272,7 @@ func (c *Client) Submit(ctx context.Context, job dualvdd.Job) (dualvdd.JobID, er
 func (c *Client) Status(ctx context.Context, id dualvdd.JobID) (*dualvdd.JobStatus, error) {
 	var res report.JobResource
 	url := c.endpoint(report.JobsPath+"/"+string(id), "")
-	if err := c.doJSON(ctx, http.MethodGet, url, nil, &res); err != nil {
+	if err := c.doJSON(ctx, http.MethodGet, url, nil, "", &res); err != nil {
 		return nil, err
 	}
 	return &res, nil
@@ -152,7 +285,7 @@ func (c *Client) Result(ctx context.Context, id dualvdd.JobID) (*dualvdd.JobStat
 	url := c.endpoint(report.JobsPath+"/"+string(id), "wait=1")
 	for {
 		var res report.JobResource
-		if err := c.doJSON(ctx, http.MethodGet, url, nil, &res); err != nil {
+		if err := c.doJSON(ctx, http.MethodGet, url, nil, "", &res); err != nil {
 			return nil, err
 		}
 		if res.State.Terminal() {
@@ -166,67 +299,142 @@ func (c *Client) Result(ctx context.Context, id dualvdd.JobID) (*dualvdd.JobStat
 
 // Cancel stops the job. See dualvdd.Runner.
 func (c *Client) Cancel(ctx context.Context, id dualvdd.JobID) error {
-	return c.doJSON(ctx, http.MethodDelete, c.endpoint(report.JobsPath+"/"+string(id), ""), nil, nil)
+	return c.doJSON(ctx, http.MethodDelete, c.endpoint(report.JobsPath+"/"+string(id), ""), nil, "", nil)
+}
+
+// openEvents connects (with the retry policy) to the job's SSE stream,
+// claiming everything past lastSeen via Last-Event-ID; -1 asks for the full
+// history.
+func (c *Client) openEvents(ctx context.Context, id dualvdd.JobID, lastSeen int) (*http.Response, error) {
+	url := c.endpoint(report.JobsPath+"/"+string(id)+"/events", "")
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Accept", report.ContentTypeSSE)
+		if lastSeen >= 0 {
+			req.Header.Set("Last-Event-ID", strconv.Itoa(lastSeen))
+		}
+		resp, err := c.http.Do(req)
+		if err == nil {
+			if resp.StatusCode == http.StatusOK {
+				return resp, nil
+			}
+			err = apiError(resp)
+			resp.Body.Close()
+		}
+		if attempt+1 >= c.retry.attempts || !transientError(err) {
+			return nil, err
+		}
+		if sleepCtx(ctx, c.backoff(attempt)) != nil {
+			return nil, err
+		}
+	}
+}
+
+// consumeEvents decodes SSE frames from one connection into out, advancing
+// *lastSeen past every delivered event. It returns done=true when the stream
+// is over for good — the server sent its end-of-stream frame, a frame failed
+// to decode, or ctx died — and done=false when the connection simply
+// dropped and a reconnect should resume from *lastSeen.
+func (c *Client) consumeEvents(ctx context.Context, body io.ReadCloser, lastSeen *int, out chan<- dualvdd.Event) (done bool) {
+	defer body.Close()
+	scanner := bufio.NewScanner(body)
+	scanner.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var data []byte
+	var eventName string
+	frameID := -1
+	flush := func() (keep bool) {
+		defer func() { data, eventName, frameID = nil, "", -1 }()
+		if eventName == report.EndEventName {
+			done = true
+			return false
+		}
+		if len(data) == 0 {
+			return true
+		}
+		ev, err := dualvdd.UnmarshalEvent(data)
+		if err != nil {
+			done = true // a malformed frame ends the stream, never a replay loop
+			return false
+		}
+		select {
+		case out <- ev:
+			if frameID >= 0 {
+				*lastSeen = frameID
+			} else {
+				*lastSeen++
+			}
+			return true
+		case <-ctx.Done():
+			done = true
+			return false
+		}
+	}
+	for scanner.Scan() {
+		line := scanner.Text()
+		switch {
+		case line == "": // frame boundary
+			if !flush() {
+				return done
+			}
+		case strings.HasPrefix(line, "data:"):
+			data = append(data, strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " ")...)
+		case strings.HasPrefix(line, "id:"):
+			if n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(line, "id:"))); err == nil {
+				frameID = n
+			}
+		case strings.HasPrefix(line, "event:"):
+			eventName = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
+		default:
+			// Per SSE, unknown fields and comments are ignored.
+		}
+	}
+	flush()
+	return done || ctx.Err() != nil
 }
 
 // Watch consumes the job's SSE stream, decoding each frame back into the
-// typed event it left the server as. The channel closes when the server
-// ends the stream (terminal job), ctx is done, or the connection drops —
-// per the Runner contract, a closed channel means the stream is over, not
-// that the job finished; confirm the outcome with Result or Status. See
-// dualvdd.Runner.
+// typed event it left the server as. A dropped connection is not the end of
+// the stream: the client reconnects with Last-Event-ID and resumes after
+// the last event it delivered, so the channel sees every event exactly once
+// across any number of reconnects. The channel closes when the server sends
+// its end-of-stream frame (terminal job), ctx is done, or reconnection
+// attempts are exhausted — per the Runner contract, a closed channel means
+// the stream is over, not that the job finished; confirm the outcome with
+// Result or Status. See dualvdd.Runner.
 func (c *Client) Watch(ctx context.Context, id dualvdd.JobID) (<-chan dualvdd.Event, error) {
-	url := c.endpoint(report.JobsPath+"/"+string(id)+"/events", "")
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	resp, err := c.openEvents(ctx, id, -1)
 	if err != nil {
 		return nil, err
-	}
-	req.Header.Set("Accept", report.ContentTypeSSE)
-	resp, err := c.http.Do(req)
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		defer resp.Body.Close()
-		return nil, apiError(resp)
 	}
 	out := make(chan dualvdd.Event)
 	go func() {
 		defer close(out)
-		defer resp.Body.Close()
-		scanner := bufio.NewScanner(resp.Body)
-		scanner.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
-		var data []byte
-		flush := func() bool {
-			if len(data) == 0 {
-				return true
+		lastSeen := -1
+		failures := 0
+		for {
+			before := lastSeen
+			if c.consumeEvents(ctx, resp.Body, &lastSeen, out) {
+				return
 			}
-			ev, err := dualvdd.UnmarshalEvent(data)
-			data = nil
+			if lastSeen > before {
+				failures = 0 // the connection made progress before dropping
+			}
+			failures++
+			if failures >= c.retry.attempts {
+				return
+			}
+			if sleepCtx(ctx, c.backoff(failures-1)) != nil {
+				return
+			}
+			next, err := c.openEvents(ctx, id, lastSeen)
 			if err != nil {
-				return false // a malformed frame ends the stream
+				return // openEvents already retried transient failures
 			}
-			select {
-			case out <- ev:
-				return true
-			case <-ctx.Done():
-				return false
-			}
+			resp = next
 		}
-		for scanner.Scan() {
-			line := scanner.Text()
-			switch {
-			case line == "": // frame boundary
-				if !flush() {
-					return
-				}
-			case strings.HasPrefix(line, "data:"):
-				data = append(data, strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " ")...)
-			default:
-				// Per SSE, unknown fields and comments are ignored.
-			}
-		}
-		flush()
 	}()
 	return out, nil
 }
@@ -234,7 +442,7 @@ func (c *Client) Watch(ctx context.Context, id dualvdd.JobID) (<-chan dualvdd.Ev
 // Benchmarks fetches the server's benchmark list (sorted, stable).
 func (c *Client) Benchmarks(ctx context.Context) ([]string, error) {
 	var res report.BenchmarksResponse
-	if err := c.doJSON(ctx, http.MethodGet, c.endpoint(report.BenchmarksPath, ""), nil, &res); err != nil {
+	if err := c.doJSON(ctx, http.MethodGet, c.endpoint(report.BenchmarksPath, ""), nil, "", &res); err != nil {
 		return nil, err
 	}
 	return res.Benchmarks, nil
@@ -243,14 +451,14 @@ func (c *Client) Benchmarks(ctx context.Context) ([]string, error) {
 // Metrics fetches the server's counters snapshot.
 func (c *Client) Metrics(ctx context.Context) (dualvdd.Metrics, error) {
 	var m report.MetricsResponse
-	err := c.doJSON(ctx, http.MethodGet, c.endpoint(report.MetricsPath, ""), nil, &m)
+	err := c.doJSON(ctx, http.MethodGet, c.endpoint(report.MetricsPath, ""), nil, "", &m)
 	return m, err
 }
 
 // Health probes /healthz.
 func (c *Client) Health(ctx context.Context) error {
 	var h report.HealthResponse
-	if err := c.doJSON(ctx, http.MethodGet, c.endpoint(report.HealthPath, ""), nil, &h); err != nil {
+	if err := c.doJSON(ctx, http.MethodGet, c.endpoint(report.HealthPath, ""), nil, "", &h); err != nil {
 		return err
 	}
 	if h.Status != "ok" {

@@ -1,0 +1,323 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dualvdd"
+	"dualvdd/client"
+)
+
+// fastRetry keeps the backoff sleeps out of the test clock.
+func fastRetry(attempts int) client.Option {
+	return client.WithRetry(attempts, time.Millisecond, 4*time.Millisecond)
+}
+
+// testJob is a minimal valid submission.
+func testJob() dualvdd.Job {
+	return dualvdd.BenchmarkJob("x2")
+}
+
+// submitBody answers a POST /v1/jobs with a plausible job resource.
+func submitBody(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"id":"job-1","state":"queued"}`)
+}
+
+// TestRetryAbsorbsFlakyServer is the retry contract against a server that
+// fails the first attempts of every request with the transient statuses: the
+// caller sees one successful call, not the flapping.
+func TestRetryAbsorbsFlakyServer(t *testing.T) {
+	for _, status := range []int{http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout} {
+		var calls atomic.Int64
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if calls.Add(1) <= 2 {
+				http.Error(w, "flaky", status)
+				return
+			}
+			submitBody(w)
+		}))
+		defer ts.Close()
+
+		c, err := client.New(ts.URL, fastRetry(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, err := c.Submit(context.Background(), testJob())
+		if err != nil {
+			t.Fatalf("status %d: submit failed through retries: %v", status, err)
+		}
+		if id != "job-1" || calls.Load() != 3 {
+			t.Fatalf("status %d: id %q after %d calls", status, id, calls.Load())
+		}
+	}
+}
+
+// TestRetryAbsorbsDroppedConnections covers the transport-level failures: a
+// server that slams the connection shut (EOF to the client) twice before
+// answering, and a server that doesn't exist yet (connection refused) for
+// the first attempts.
+func TestRetryAbsorbsDroppedConnections(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Fatal("no hijack support")
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				t.Fatal(err)
+			}
+			conn.Close() // mid-request slam: the client reads an EOF
+			return
+		}
+		submitBody(w)
+	}))
+	defer ts.Close()
+
+	c, err := client.New(ts.URL, fastRetry(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(context.Background(), testJob()); err != nil {
+		t.Fatalf("submit failed through dropped connections: %v", err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d calls, want 3", calls.Load())
+	}
+
+	// Connection refused: point at a dead listener. Every attempt fails the
+	// same way; the call must still return (not hang) with a transport error.
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	deadURL := dead.URL
+	dead.Close()
+	c2, err := client.New(deadURL, fastRetry(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Health(context.Background()); err == nil {
+		t.Fatal("health against a dead server succeeded")
+	}
+}
+
+// TestNoRetryOnPermanentErrors pins the other half of the policy: 404 and
+// 429 mean what they say and are returned on the first attempt, still
+// mapped onto the Runner sentinels.
+func TestNoRetryOnPermanentErrors(t *testing.T) {
+	cases := []struct {
+		status int
+		want   error
+	}{
+		{http.StatusNotFound, dualvdd.ErrJobNotFound},
+		{http.StatusTooManyRequests, dualvdd.ErrQueueFull},
+	}
+	for _, tc := range cases {
+		var calls atomic.Int64
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			calls.Add(1)
+			http.Error(w, "nope", tc.status)
+		}))
+		defer ts.Close()
+		c, err := client.New(ts.URL, fastRetry(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Status(context.Background(), "x"); !errors.Is(err, tc.want) {
+			t.Fatalf("status %d mapped to %v", tc.status, err)
+		}
+		if calls.Load() != 1 {
+			t.Fatalf("status %d retried: %d calls", tc.status, calls.Load())
+		}
+	}
+}
+
+// TestRetryExhaustionKeepsSentinel asserts a 503 that never heals still
+// satisfies errors.Is(err, ErrClosed) after the retry budget is spent — the
+// transient wrapper must not eat the sentinel mapping.
+func TestRetryExhaustionKeepsSentinel(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	c, err := client.New(ts.URL, fastRetry(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(context.Background(), testJob()); !errors.Is(err, dualvdd.ErrClosed) {
+		t.Fatalf("exhausted retries returned %v, want ErrClosed", err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d calls, want exactly the retry budget 3", calls.Load())
+	}
+}
+
+// TestRetryHonorsContext cancels the context while the client is inside a
+// backoff sleep: the call must return promptly instead of finishing the
+// retry schedule.
+func TestRetryHonorsContext(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "flaky", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	// Seconds-long backoff so the context expires mid-sleep.
+	c, err := client.New(ts.URL, client.WithRetry(5, 2*time.Second, 8*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if err := c.Health(ctx); err == nil {
+		t.Fatal("health succeeded against a permanently flaky server")
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("cancelled call took %v, want prompt return", d)
+	}
+}
+
+// sseFrames renders marshalled events as an SSE body with ids starting at
+// the given index.
+func sseFrames(t *testing.T, start int, events ...dualvdd.Event) string {
+	t.Helper()
+	var body string
+	for i, ev := range events {
+		b, err := dualvdd.MarshalEvent(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body += fmt.Sprintf("id: %d\ndata: %s\n\n", start+i, b)
+	}
+	return body
+}
+
+// TestWatchReconnectsWithLastEventID drops the SSE connection after two
+// events; the client must reconnect carrying Last-Event-ID and the final
+// channel must see every event exactly once, in order, ending cleanly on
+// the explicit end frame.
+func TestWatchReconnectsWithLastEventID(t *testing.T) {
+	all := []dualvdd.Event{
+		dualvdd.EventMapped{Circuit: "c", Gates: 10},
+		dualvdd.EventMove{Circuit: "c", Algorithm: "cvs", Gate: 1},
+		dualvdd.EventMove{Circuit: "c", Algorithm: "cvs", Gate: 2},
+		dualvdd.EventRoundDone{Circuit: "c", Algorithm: "cvs", Round: 1},
+	}
+	var conns atomic.Int64
+	var resumedFrom atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		switch conns.Add(1) {
+		case 1:
+			// Two events, then the connection dies with no end frame.
+			fmt.Fprint(w, sseFrames(t, 0, all[:2]...))
+		default:
+			resumedFrom.Store(r.Header.Get("Last-Event-ID"))
+			fmt.Fprint(w, sseFrames(t, 2, all[2:]...))
+			fmt.Fprint(w, "event: end\ndata: {}\n\n")
+		}
+	}))
+	defer ts.Close()
+
+	c, err := client.New(ts.URL, fastRetry(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := c.Watch(context.Background(), "job-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []dualvdd.Event
+	for ev := range events {
+		got = append(got, ev)
+	}
+	if len(got) != len(all) {
+		t.Fatalf("watch delivered %d events across the reconnect, want %d: %v", len(got), len(all), got)
+	}
+	for i := range all {
+		if fmt.Sprintf("%#v", got[i]) != fmt.Sprintf("%#v", all[i]) {
+			t.Fatalf("event %d diverged: %#v != %#v", i, got[i], all[i])
+		}
+	}
+	if conns.Load() != 2 {
+		t.Fatalf("server saw %d connections, want 2", conns.Load())
+	}
+	if cursor, _ := resumedFrom.Load().(string); cursor != "1" {
+		t.Fatalf("reconnect carried Last-Event-ID %q, want \"1\"", cursor)
+	}
+}
+
+// TestWatchEndsCleanlyWithoutReconnect: a stream closed by the end frame
+// never triggers a reconnect, even though the connection also closed.
+func TestWatchEndsCleanlyWithoutReconnect(t *testing.T) {
+	var conns atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		conns.Add(1)
+		w.Header().Set("Content-Type", "text/event-stream")
+		fmt.Fprint(w, sseFrames(t, 0, dualvdd.EventMapped{Circuit: "c"}))
+		fmt.Fprint(w, "event: end\ndata: {}\n\n")
+	}))
+	defer ts.Close()
+	c, err := client.New(ts.URL, fastRetry(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := c.Watch(context.Background(), "job-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for range events {
+		n++
+	}
+	if n != 1 || conns.Load() != 1 {
+		t.Fatalf("clean stream: %d events over %d connections, want 1 over 1", n, conns.Load())
+	}
+}
+
+// TestWatchGivesUpAfterRetryBudget: a server that drops every connection
+// without progress closes the channel after the attempts are spent instead
+// of reconnecting forever.
+func TestWatchGivesUpAfterRetryBudget(t *testing.T) {
+	var conns atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		conns.Add(1)
+		w.Header().Set("Content-Type", "text/event-stream")
+		// Headers only; the stream dies with neither events nor end frame.
+	}))
+	defer ts.Close()
+	c, err := client.New(ts.URL, fastRetry(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan int)
+	events, err := c.Watch(context.Background(), "job-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		n := 0
+		for range events {
+			n++
+		}
+		done <- n
+	}()
+	select {
+	case n := <-done:
+		if n != 0 {
+			t.Fatalf("empty streams produced %d events", n)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("watch never gave up on a permanently dropping server")
+	}
+	if got := conns.Load(); got < 2 || got > 3 {
+		t.Fatalf("server saw %d connections, want a bounded handful (2-3)", got)
+	}
+}

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"dualvdd"
+	"dualvdd/fleet"
+	"dualvdd/internal/store"
+	"dualvdd/server"
+)
+
+// workerList is a repeatable -worker flag; each occurrence may itself be a
+// comma list, so `-worker a,b -worker c` and `-worker a -worker b -worker c`
+// are the same fleet.
+type workerList []string
+
+func (w *workerList) String() string { return fmt.Sprint([]string(*w)) }
+
+func (w *workerList) Set(s string) error {
+	*w = append(*w, splitList(s)...)
+	return nil
+}
+
+// openStores opens the durable-state pair under dir: the result CAS in
+// dir/cas and the job journal at dir/jobs.log. Both subcommands that take a
+// -store flag wire the same layout, so a `dualvdd fleet` can be pointed at a
+// directory a `dualvdd serve` wrote, and vice versa.
+func openStores(dir string, cacheEntries int) (*store.CAS, *store.Journal) {
+	cas, err := store.OpenCAS(filepath.Join(dir, "cas"), store.CASMaxEntries(cacheEntries))
+	if err != nil {
+		fatal(err)
+	}
+	journal, err := store.OpenJournal(filepath.Join(dir, "jobs.log"))
+	if err != nil {
+		fatal(err)
+	}
+	return cas, journal
+}
+
+// runFleet is the `dualvdd fleet` subcommand: a sharding coordinator over N
+// worker services, itself served behind the same HTTP API as `dualvdd serve`
+// — clients cannot tell the difference. Jobs are placed on workers by
+// consistent hashing of their warm-prep group key, finished results land in
+// the (optionally disk-backed) CAS, and with -store a restarted coordinator
+// answers every already-computed point from disk without recomputation.
+func runFleet(args []string) {
+	fs := flag.NewFlagSet("dualvdd fleet", flag.ExitOnError)
+	listen := fs.String("listen", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+	var workers workerList
+	fs.Var(&workers, "worker", "worker base URL (repeatable, or comma-separated)")
+	storeDir := fs.String("store", "", "durable state directory (disk result CAS + job journal); empty keeps everything in memory")
+	cacheEntries := fs.Int("cache-entries", 256, "content-addressed result cache size (0 means unbounded on disk)")
+	vnodes := fs.Int("vnodes", 64, "virtual nodes per worker on the hash ring")
+	healthInterval := fs.Duration("health-interval", 2*time.Second, "worker health probe period")
+	healthTimeout := fs.Duration("health-timeout", time.Second, "per-probe timeout")
+	deadAfter := fs.Int("dead-after", 2, "consecutive probe failures before a worker is marked dead")
+	tenantRate := fs.Float64("tenant-rate", 0, "per-tenant admission rate in jobs/sec (0 disables rate limiting)")
+	tenantBurst := fs.Int("tenant-burst", 1, "per-tenant admission burst")
+	tenantQuota := fs.Int("tenant-quota", 0, "per-tenant in-flight job quota (0 disables)")
+	requestTimeout := fs.Duration("request-timeout", time.Minute, "how long a ?wait=1 status poll may block")
+	drainTimeout := fs.Duration("drain-timeout", time.Minute, "shutdown grace; jobs still running after this are cancelled")
+	fs.Parse(args)
+
+	if len(workers) == 0 {
+		fatal(fmt.Errorf("fleet: at least one -worker URL is required"))
+	}
+
+	fopts := []fleet.Option{
+		fleet.WithVnodes(*vnodes),
+		fleet.WithHealth(*healthInterval, *healthTimeout, *deadAfter),
+		fleet.WithTenantRate(*tenantRate, *tenantBurst),
+		fleet.WithTenantQuota(*tenantQuota),
+	}
+	if *storeDir != "" {
+		cas, journal := openStores(*storeDir, *cacheEntries)
+		defer journal.Close()
+		fopts = append(fopts, fleet.WithResultCache(cas), fleet.WithJobStore(journal))
+	} else {
+		fopts = append(fopts, fleet.WithResultCache(dualvdd.NewMemoryCache(*cacheEntries)))
+	}
+
+	co, err := fleet.New(workers, fopts...)
+	if err != nil {
+		fatal(err)
+	}
+	api := server.New(co, server.WithRequestTimeout(*requestTimeout))
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("dualvdd: fleet of %d workers serving on http://%s\n", len(workers), ln.Addr())
+
+	// No WriteTimeout, as in runServe: SSE streams apply their own per-write
+	// deadlines.
+	httpSrv := &http.Server{Handler: api, ReadHeaderTimeout: 10 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-stop:
+		fmt.Fprintf(os.Stderr, "dualvdd: %v — draining\n", sig)
+	case err := <-errc:
+		fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := co.Close(ctx)
+	_ = httpSrv.Shutdown(ctx)
+	if drainErr != nil {
+		fmt.Fprintf(os.Stderr, "dualvdd: drain expired, jobs cancelled: %v\n", drainErr)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "dualvdd: drained")
+}

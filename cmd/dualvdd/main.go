@@ -15,6 +15,15 @@
 //
 //	dualvdd serve -listen 127.0.0.1:8080 -workers 4 -queue-depth 64
 //
+// The fleet subcommand serves the same HTTP API from a sharding coordinator
+// over N worker services: jobs are placed by consistent hashing of their
+// warm-prep group key, dead workers are detected and their jobs re-dispatched,
+// and with -store the result CAS and job journal survive a restart, making
+// interrupted sweeps resumable without recomputation:
+//
+//	dualvdd fleet -listen 127.0.0.1:8080 -worker http://127.0.0.1:9001 \
+//	    -worker http://127.0.0.1:9002 -store /var/lib/dualvdd
+//
 // The sweep subcommand explores the design space: a grid of (VDDH, VDDL,
 // slack, sim words, algorithm set) points per circuit, executed in-process
 // or against a remote serve, with per-circuit Pareto extraction:
@@ -35,6 +44,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "serve" {
 		runServe(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "fleet" {
+		runFleet(os.Args[2:])
 		return
 	}
 	if len(os.Args) > 1 && os.Args[1] == "sweep" {

@@ -26,15 +26,22 @@ func runServe(args []string) {
 	workers := fs.Int("workers", 1, "concurrent job workers")
 	queueDepth := fs.Int("queue-depth", 64, "bounded job queue depth (a full queue rejects submissions with 429)")
 	cacheEntries := fs.Int("cache-entries", 256, "content-addressed result cache size (0 disables)")
+	storeDir := fs.String("store", "", "durable state directory (disk result CAS + job journal); empty keeps everything in memory")
 	requestTimeout := fs.Duration("request-timeout", time.Minute, "how long a ?wait=1 status poll may block")
 	drainTimeout := fs.Duration("drain-timeout", time.Minute, "shutdown grace; jobs still running after this are cancelled")
 	fs.Parse(args)
 
-	local := dualvdd.NewLocal(
+	lopts := []dualvdd.LocalOption{
 		dualvdd.LocalWorkers(*workers),
 		dualvdd.LocalQueueDepth(*queueDepth),
 		dualvdd.LocalCacheEntries(*cacheEntries),
-	)
+	}
+	if *storeDir != "" {
+		cas, journal := openStores(*storeDir, *cacheEntries)
+		defer journal.Close()
+		lopts = append(lopts, dualvdd.LocalResultCache(cas), dualvdd.LocalJobStore(journal))
+	}
+	local := dualvdd.NewLocal(lopts...)
 	api := server.New(local, server.WithRequestTimeout(*requestTimeout))
 
 	ln, err := net.Listen("tcp", *listen)

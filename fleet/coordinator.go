@@ -1,0 +1,804 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"dualvdd"
+	"dualvdd/client"
+)
+
+// WorkerClient is what the coordinator needs from one worker: the Runner
+// surface plus a liveness probe. *client.Client satisfies it; tests inject
+// doubles through WithDialer.
+type WorkerClient interface {
+	dualvdd.Runner
+	Health(ctx context.Context) error
+}
+
+// Option configures New.
+type Option func(*Coordinator)
+
+// WithResultCache swaps the coordinator's result cache — typically the disk
+// CAS from internal/store, which is what makes sweeps resumable across
+// coordinator restarts. The default is an in-memory LRU of 256 entries. The
+// caller owns the cache's lifecycle.
+func WithResultCache(c dualvdd.ResultCache) Option {
+	return func(co *Coordinator) {
+		if c != nil {
+			co.cache = c
+		}
+	}
+}
+
+// WithJobStore attaches a durability journal of terminal jobs, replayed at
+// construction exactly like Local's: the previous life's jobs stay
+// queryable and ID allocation resumes past them. The caller owns the
+// store's lifecycle.
+func WithJobStore(s dualvdd.JobStore) Option {
+	return func(co *Coordinator) { co.journal = s }
+}
+
+// WithVnodes sets the virtual nodes per worker on the hash ring (default
+// 64). More vnodes smooth the load split at the cost of a larger ring.
+func WithVnodes(n int) Option {
+	return func(co *Coordinator) {
+		if n > 0 {
+			co.vnodes = n
+		}
+	}
+}
+
+// WithHealth tunes the worker health loop: probe every interval with the
+// given per-probe timeout, and declare a worker dead after deadAfter
+// consecutive failures (it returns to live on the next success). Zero
+// values keep the defaults (2s interval, 1s timeout, 2 failures).
+func WithHealth(interval, timeout time.Duration, deadAfter int) Option {
+	return func(co *Coordinator) {
+		if interval > 0 {
+			co.healthInterval = interval
+		}
+		if timeout > 0 {
+			co.healthTimeout = timeout
+		}
+		if deadAfter > 0 {
+			co.deadAfter = deadAfter
+		}
+	}
+}
+
+// WithTenantQuota bounds each tenant's concurrently in-flight jobs;
+// 0 (default) disables the quota.
+func WithTenantQuota(inFlight int) Option {
+	return func(co *Coordinator) { co.quota = inFlight }
+}
+
+// WithTenantRate bounds each tenant's sustained submission rate to rate
+// jobs/second with the given burst; 0 (default) disables rate limiting.
+func WithTenantRate(rate float64, burst int) Option {
+	return func(co *Coordinator) { co.rate, co.burst = rate, float64(burst) }
+}
+
+// WithHistory bounds how many terminal jobs stay queryable (default 1024).
+func WithHistory(n int) Option {
+	return func(co *Coordinator) {
+		if n > 0 {
+			co.history = n
+		}
+	}
+}
+
+// WithDialer swaps how worker URLs become clients — the test seam. The
+// default dials a dualvdd HTTP client with a modest retry policy.
+func WithDialer(dial func(url string) (WorkerClient, error)) Option {
+	return func(co *Coordinator) {
+		if dial != nil {
+			co.dial = dial
+		}
+	}
+}
+
+// workerState is one registered worker.
+type workerState struct {
+	name   string
+	runner WorkerClient
+	alive  bool
+	fails  int // consecutive health-probe failures
+}
+
+// fleetJob is one accepted submission: spec, lifecycle, the relayed event
+// log, and the per-job context Cancel fires. It mirrors Local's job record
+// so the Runner semantics match exactly.
+type fleetJob struct {
+	spec   dualvdd.Job
+	key    string
+	group  string
+	tenant string
+	seq    int64
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu      sync.Mutex
+	status  dualvdd.JobStatus
+	events  []dualvdd.Event
+	relayed int           // events delivered so far, for replay dedup across re-dispatch
+	update  chan struct{} // closed and replaced on every append/state change
+	done    chan struct{} // closed on terminal state
+}
+
+// Coordinator shards jobs across a worker fleet. It implements
+// dualvdd.Runner and dualvdd.MetricsProvider, so server.New(coordinator)
+// puts the standard HTTP surface in front of a whole fleet and Sweep.Run
+// drives it like any other runner.
+type Coordinator struct {
+	vnodes         int
+	healthInterval time.Duration
+	healthTimeout  time.Duration
+	deadAfter      int
+	history        int
+	quota          int
+	rate, burst    float64
+	now            func() time.Time
+	dial           func(url string) (WorkerClient, error)
+
+	cache     dualvdd.ResultCache
+	journal   dualvdd.JobStore
+	admission *admission
+
+	mu      sync.Mutex
+	ring    *ring
+	workers map[string]*workerState
+	jobs    map[dualvdd.JobID]*fleetJob
+	retired []dualvdd.JobID
+	order   int64
+	closed  bool
+	metrics dualvdd.Metrics
+
+	wg   sync.WaitGroup
+	stop chan struct{}
+}
+
+// New builds a coordinator over the given worker URLs and starts its health
+// loop. At least one worker is required. With a WithJobStore journal the
+// previous life's terminal jobs are replayed first; with a durable
+// WithResultCache a restarted coordinator answers already-computed points
+// from the cache — together they make an interrupted sweep resumable.
+func New(workerURLs []string, opts ...Option) (*Coordinator, error) {
+	if len(workerURLs) == 0 {
+		return nil, errors.New("fleet: at least one worker required")
+	}
+	c := &Coordinator{
+		vnodes:         64,
+		healthInterval: 2 * time.Second,
+		healthTimeout:  time.Second,
+		deadAfter:      2,
+		history:        1024,
+		jobs:           make(map[dualvdd.JobID]*fleetJob),
+		workers:        make(map[string]*workerState),
+		stop:           make(chan struct{}),
+	}
+	c.dial = func(url string) (WorkerClient, error) {
+		return client.New(url, client.WithRetry(3, 100*time.Millisecond, time.Second))
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	c.ring = newRing(c.vnodes)
+	c.admission = newAdmission(c.rate, c.burst, c.quota, c.now)
+	if c.cache == nil {
+		c.cache = dualvdd.NewMemoryCache(256)
+	}
+	for _, u := range workerURLs {
+		w, err := c.dial(u)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: worker %s: %w", u, err)
+		}
+		if _, dup := c.workers[u]; dup {
+			return nil, fmt.Errorf("fleet: worker %s registered twice", u)
+		}
+		c.workers[u] = &workerState{name: u, runner: w, alive: true}
+		c.ring.add(u)
+	}
+	if c.journal != nil {
+		c.replayJournal()
+	}
+	c.wg.Add(1)
+	go c.healthLoop()
+	return c, nil
+}
+
+var _ dualvdd.Runner = (*Coordinator)(nil)
+var _ dualvdd.MetricsProvider = (*Coordinator)(nil)
+
+// healthLoop probes every worker each interval, marking a worker dead after
+// deadAfter consecutive failures and live again on the next success. Dead
+// workers keep their ring points — the ring is stable — but pick skips
+// them, so their arcs fall through to the next live worker and fall back
+// when they recover.
+func (c *Coordinator) healthLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.healthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+		}
+		c.mu.Lock()
+		workers := make([]*workerState, 0, len(c.workers))
+		for _, w := range c.workers {
+			workers = append(workers, w)
+		}
+		c.mu.Unlock()
+		for _, w := range workers {
+			ctx, cancel := context.WithTimeout(context.Background(), c.healthTimeout)
+			err := w.runner.Health(ctx)
+			cancel()
+			c.mu.Lock()
+			if err != nil {
+				w.fails++
+				if w.fails >= c.deadAfter {
+					w.alive = false
+				}
+			} else {
+				w.fails = 0
+				w.alive = true
+			}
+			c.mu.Unlock()
+		}
+	}
+}
+
+// markDead records a worker failure observed in-band (a driver's request
+// died), without waiting for the health loop to notice.
+func (c *Coordinator) markDead(name string) {
+	c.mu.Lock()
+	if w := c.workers[name]; w != nil {
+		w.fails = c.deadAfter
+		w.alive = false
+	}
+	c.mu.Unlock()
+}
+
+// pickWorker places a group key on a live, untried worker; nil when none
+// remain.
+func (c *Coordinator) pickWorker(group string, tried map[string]bool) *workerState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	skip := make(map[string]bool, len(tried))
+	for name := range tried {
+		skip[name] = true
+	}
+	for name, w := range c.workers {
+		if !w.alive {
+			skip[name] = true
+		}
+	}
+	name := c.ring.pick(group, skip)
+	if name == "" {
+		return nil
+	}
+	return c.workers[name]
+}
+
+// Submit admits, then answers from the cache or dispatches to the group's
+// worker. See dualvdd.Runner.
+func (c *Coordinator) Submit(ctx context.Context, job dualvdd.Job) (dualvdd.JobID, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	key, err := job.Key() // validates
+	if err != nil {
+		return "", err
+	}
+	group, err := job.GroupKey()
+	if err != nil {
+		return "", err
+	}
+	tenant := dualvdd.TenantFromContext(ctx)
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return "", dualvdd.ErrClosed
+	}
+	c.mu.Unlock()
+
+	if err := c.admission.admit(tenant); err != nil {
+		c.mu.Lock()
+		c.metrics.AdmissionRejects++
+		if c.metrics.TenantRejects == nil {
+			c.metrics.TenantRejects = make(map[string]int64)
+		}
+		c.metrics.TenantRejects[tenant]++
+		c.mu.Unlock()
+		return "", err
+	}
+
+	jctx, jcancel := context.WithCancel(context.Background())
+	j := &fleetJob{
+		spec: job, key: key, group: group, tenant: tenant,
+		ctx: jctx, cancel: jcancel,
+		update: make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+
+	// The cache lookup happens outside c.mu: a disk CAS does I/O and the
+	// interface carries its own synchronization.
+	entry, _ := c.cache.Get(key)
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		jcancel()
+		c.admission.release(tenant)
+		return "", dualvdd.ErrClosed
+	}
+	c.order++
+	j.seq = c.order
+	id := dualvdd.JobID(fmt.Sprintf("job-%06d-%s", j.seq, key[:8]))
+	j.status = dualvdd.JobStatus{ID: id, State: dualvdd.JobQueued}
+	c.jobs[id] = j
+	if entry != nil {
+		c.metrics.CacheHits++
+		c.metrics.JobsDone++
+		c.mu.Unlock()
+		j.completeFromCache(entry)
+		c.admission.release(tenant)
+		c.retire(j)
+		return id, nil
+	}
+	c.metrics.CacheMisses++
+	c.metrics.JobsQueued++
+	c.metrics.PointsInFlight++
+	c.mu.Unlock()
+
+	c.wg.Add(1)
+	go c.drive(j)
+	return id, nil
+}
+
+// completeFromCache finishes a job with a cached result, replaying the same
+// synthetic event history Local does.
+func (j *fleetJob) completeFromCache(entry *dualvdd.CachedResult) {
+	design := *entry.Design
+	j.mu.Lock()
+	j.status.State = dualvdd.JobDone
+	j.status.Cached = true
+	j.status.Design = &design
+	j.status.Results = entry.Results
+	j.events = append(j.events, dualvdd.EventMapped{
+		Circuit: design.Name, Gates: design.Gates,
+		MinDelay: design.MinDelay, Tspec: design.Tspec, OrgPower: design.OrgPower,
+	})
+	for _, res := range entry.Results {
+		j.events = append(j.events, dualvdd.EventResult{Circuit: design.Name, Result: res})
+	}
+	j.bump()
+	j.mu.Unlock()
+	j.cancel()
+	close(j.done)
+}
+
+// drive owns one job end to end: dispatch to the ring-chosen worker, relay
+// its event stream, collect the result; when a worker dies mid-job, mark it
+// dead and re-dispatch to the next live worker on the arc. The job fails
+// only when every live worker has been tried.
+func (c *Coordinator) drive(j *fleetJob) {
+	defer c.wg.Done()
+	tried := map[string]bool{}
+	lastErr := errors.New("no live workers")
+	for {
+		if j.ctx.Err() != nil {
+			c.finalize(j, dualvdd.JobCancelled, context.Canceled.Error())
+			return
+		}
+		w := c.pickWorker(j.group, tried)
+		if w == nil {
+			c.finalize(j, dualvdd.JobFailed, fmt.Sprintf("fleet: job undeliverable: %v", lastErr))
+			return
+		}
+		if len(tried) > 0 {
+			c.mu.Lock()
+			c.metrics.Redispatches++
+			c.mu.Unlock()
+		}
+		done, err := c.runOn(w, j)
+		if done {
+			return
+		}
+		// The worker failed us mid-job: remember, mark it dead so new work
+		// avoids it, and try the next worker on the arc.
+		lastErr = err
+		tried[w.name] = true
+		c.markDead(w.name)
+	}
+}
+
+// runOn executes the job on one worker. It returns done=true when the job
+// was finalized (any terminal outcome, including cancellation) and
+// done=false with the error when the worker failed and the job should move
+// on.
+func (c *Coordinator) runOn(w *workerState, j *fleetJob) (bool, error) {
+	cancelled := func() bool { return j.ctx.Err() != nil }
+
+	rid, err := w.runner.Submit(j.ctx, j.spec)
+	if err != nil {
+		if cancelled() {
+			c.finalize(j, dualvdd.JobCancelled, context.Canceled.Error())
+			return true, nil
+		}
+		return false, err
+	}
+	j.markRunning(c)
+
+	// Relay the worker's event stream onto the job's log. Re-dispatched jobs
+	// recompute deterministically, so the replacement worker replays the
+	// identical event prefix — the relayed counter skips what subscribers
+	// already saw and delivery stays exactly-once across worker deaths.
+	events, err := w.runner.Watch(j.ctx, rid)
+	if err == nil {
+		n := 0
+		for ev := range events {
+			n++
+			if n <= j.relayed {
+				continue
+			}
+			j.publish(ev)
+			j.relayed++
+		}
+	}
+
+	st, err := w.runner.Result(j.ctx, rid)
+	if err != nil {
+		if cancelled() {
+			// Best-effort: stop the orphan on the worker.
+			stopCtx, stopCancel := context.WithTimeout(context.Background(), time.Second)
+			_ = w.runner.Cancel(stopCtx, rid)
+			stopCancel()
+			c.finalize(j, dualvdd.JobCancelled, context.Canceled.Error())
+			return true, nil
+		}
+		return false, err
+	}
+
+	switch st.State {
+	case dualvdd.JobDone:
+		c.cache.Put(&dualvdd.CachedResult{Key: j.key, Design: st.Design, Results: st.Results})
+		j.mu.Lock()
+		j.status.Design = st.Design
+		j.status.Results = st.Results
+		j.status.Warm = st.Warm
+		j.mu.Unlock()
+		c.accountResults(st)
+		c.finalize(j, dualvdd.JobDone, "")
+		return true, nil
+	case dualvdd.JobFailed:
+		j.mu.Lock()
+		j.status.Design = st.Design
+		j.mu.Unlock()
+		c.finalize(j, dualvdd.JobFailed, st.Error)
+		return true, nil
+	default: // cancelled on the worker
+		if cancelled() {
+			c.finalize(j, dualvdd.JobCancelled, context.Canceled.Error())
+			return true, nil
+		}
+		// The worker cancelled a job we did not: it is draining. Move on.
+		return false, fmt.Errorf("fleet: worker %s cancelled the job while draining", w.name)
+	}
+}
+
+// accountResults adds an executed (non-cached) job's evaluation totals to
+// the metrics. A result the worker itself served from cache adds nothing —
+// no computation happened anywhere — which keeps the eval counters an
+// honest proof of work done.
+func (c *Coordinator) accountResults(st *dualvdd.JobStatus) {
+	if st.Cached {
+		return
+	}
+	c.mu.Lock()
+	for _, r := range st.Results {
+		c.metrics.STAEvals += r.STAEvals
+		c.metrics.CandEvals += r.CandEvals
+		c.metrics.SimNs += r.SimTime.Nanoseconds()
+	}
+	c.mu.Unlock()
+}
+
+// markRunning moves the job queued → running exactly once.
+func (j *fleetJob) markRunning(c *Coordinator) {
+	j.mu.Lock()
+	if j.status.State != dualvdd.JobQueued {
+		j.mu.Unlock()
+		return
+	}
+	j.status.State = dualvdd.JobRunning
+	j.bump()
+	j.mu.Unlock()
+	c.mu.Lock()
+	c.metrics.JobsQueued--
+	c.metrics.JobsRunning++
+	c.mu.Unlock()
+}
+
+// finalize publishes the terminal state, settles the gauges, journals the
+// record and releases the tenant's admission slot.
+func (c *Coordinator) finalize(j *fleetJob, state dualvdd.JobState, errMsg string) {
+	j.mu.Lock()
+	wasRunning := j.status.State == dualvdd.JobRunning
+	j.status.State = state
+	j.status.Error = errMsg
+	j.bump()
+	j.mu.Unlock()
+	j.cancel()
+	close(j.done)
+
+	c.mu.Lock()
+	if wasRunning {
+		c.metrics.JobsRunning--
+	} else {
+		c.metrics.JobsQueued--
+	}
+	c.metrics.PointsInFlight--
+	switch state {
+	case dualvdd.JobDone:
+		c.metrics.JobsDone++
+	case dualvdd.JobCancelled:
+		c.metrics.JobsCancelled++
+	default:
+		c.metrics.JobsFailed++
+	}
+	c.mu.Unlock()
+	c.admission.release(j.tenant)
+	c.retire(j)
+}
+
+// retire journals the terminal record and enforces the history bound.
+func (c *Coordinator) retire(j *fleetJob) {
+	j.spec.BLIF = ""
+	if c.journal != nil {
+		if err := c.journal.Append(dualvdd.JobRecord{Seq: j.seq, Key: j.key, Status: *j.snapshot()}); err != nil {
+			c.mu.Lock()
+			c.metrics.StoreErrors++
+			c.mu.Unlock()
+		}
+	}
+	c.mu.Lock()
+	c.retired = append(c.retired, j.status.ID)
+	for len(c.retired) > c.history {
+		delete(c.jobs, c.retired[0])
+		c.retired = c.retired[1:]
+	}
+	c.mu.Unlock()
+}
+
+// replayJournal mirrors Local's: journaled terminal jobs become queryable
+// history and the submission counter resumes past them.
+func (c *Coordinator) replayJournal() {
+	type replayed struct {
+		seq int64
+		rec dualvdd.JobRecord
+	}
+	var recs []replayed
+	err := c.journal.Replay(func(rec dualvdd.JobRecord) error {
+		if rec.Status.ID == "" || !rec.Status.State.Terminal() {
+			return nil
+		}
+		recs = append(recs, replayed{seq: rec.Seq, rec: rec})
+		if rec.Seq > c.order {
+			c.order = rec.Seq
+		}
+		return nil
+	})
+	if err != nil {
+		c.metrics.StoreErrors++
+	}
+	if len(recs) > c.history {
+		recs = recs[len(recs)-c.history:]
+	}
+	for _, r := range recs {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		j := &fleetJob{
+			key: r.rec.Key, seq: r.seq,
+			ctx: ctx, cancel: cancel,
+			status: r.rec.Status,
+			update: make(chan struct{}),
+			done:   make(chan struct{}),
+		}
+		close(j.done)
+		c.jobs[r.rec.Status.ID] = j
+		c.retired = append(c.retired, r.rec.Status.ID)
+	}
+}
+
+// bump wakes Watch subscribers; call with j.mu held.
+func (j *fleetJob) bump() {
+	close(j.update)
+	j.update = make(chan struct{})
+}
+
+// publish appends one event to the job's log.
+func (j *fleetJob) publish(ev dualvdd.Event) {
+	j.mu.Lock()
+	j.events = append(j.events, ev)
+	j.bump()
+	j.mu.Unlock()
+}
+
+// snapshot copies the current status.
+func (j *fleetJob) snapshot() *dualvdd.JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := j.status
+	return &st
+}
+
+// find looks a job up.
+func (c *Coordinator) find(id dualvdd.JobID) (*fleetJob, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", dualvdd.ErrJobNotFound, id)
+	}
+	return j, nil
+}
+
+// Status reports the job without waiting. See dualvdd.Runner.
+func (c *Coordinator) Status(ctx context.Context, id dualvdd.JobID) (*dualvdd.JobStatus, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	j, err := c.find(id)
+	if err != nil {
+		return nil, err
+	}
+	return j.snapshot(), nil
+}
+
+// Result blocks until the job is terminal. See dualvdd.Runner.
+func (c *Coordinator) Result(ctx context.Context, id dualvdd.JobID) (*dualvdd.JobStatus, error) {
+	j, err := c.find(id)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case <-j.done:
+		return j.snapshot(), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Watch streams the job's relayed events: full replay, then live until
+// terminal. See dualvdd.Runner.
+func (c *Coordinator) Watch(ctx context.Context, id dualvdd.JobID) (<-chan dualvdd.Event, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	j, err := c.find(id)
+	if err != nil {
+		return nil, err
+	}
+	out := make(chan dualvdd.Event)
+	go func() {
+		defer close(out)
+		next := 0
+		for {
+			j.mu.Lock()
+			pending := j.events[next:]
+			next = len(j.events)
+			update := j.update
+			terminal := j.status.State.Terminal()
+			j.mu.Unlock()
+			for _, ev := range pending {
+				select {
+				case out <- ev:
+				case <-ctx.Done():
+					return
+				}
+			}
+			if terminal && len(pending) == 0 {
+				return
+			}
+			if terminal {
+				continue
+			}
+			select {
+			case <-update:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out, nil
+}
+
+// Cancel stops a queued or running job by firing its context; the driver
+// records the terminal state. See dualvdd.Runner.
+func (c *Coordinator) Cancel(ctx context.Context, id dualvdd.JobID) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	j, err := c.find(id)
+	if err != nil {
+		return err
+	}
+	j.cancel()
+	return nil
+}
+
+// Metrics returns the coordinator's counters snapshot, including the
+// fleet-level gauges.
+func (c *Coordinator) Metrics() dualvdd.Metrics {
+	c.mu.Lock()
+	m := c.metrics
+	if m.TenantRejects != nil {
+		tr := make(map[string]int64, len(m.TenantRejects))
+		for k, v := range m.TenantRejects {
+			tr[k] = v
+		}
+		m.TenantRejects = tr
+	}
+	m.WorkersLive, m.WorkersDead = 0, 0
+	for _, w := range c.workers {
+		if w.alive {
+			m.WorkersLive++
+		} else {
+			m.WorkersDead++
+		}
+	}
+	c.mu.Unlock()
+	m.CacheEntries = c.cache.Len()
+	m.CacheBytes = c.cache.Bytes()
+	return m
+}
+
+// Workers reports the registered worker URLs and their current liveness.
+func (c *Coordinator) Workers() map[string]bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]bool, len(c.workers))
+	for name, w := range c.workers {
+		out[name] = w.alive
+	}
+	return out
+}
+
+// Close stops admission and the health loop, then waits for in-flight
+// drivers. The ctx bounds the wait: on expiry every remaining job is
+// cancelled and Close returns ctx.Err() after the drivers exit.
+func (c *Coordinator) Close(ctx context.Context) error {
+	c.mu.Lock()
+	if !c.closed {
+		c.closed = true
+		close(c.stop)
+	}
+	jobs := make([]*fleetJob, 0, len(c.jobs))
+	for _, j := range c.jobs {
+		jobs = append(jobs, j)
+	}
+	c.mu.Unlock()
+	idle := make(chan struct{})
+	go func() {
+		c.wg.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		for _, j := range jobs {
+			j.cancel()
+		}
+		<-idle
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,409 @@
+package fleet_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dualvdd"
+	"dualvdd/client"
+	"dualvdd/fleet"
+	"dualvdd/internal/store"
+	"dualvdd/server"
+)
+
+// testWorker is one fleet worker: a Local behind the real HTTP surface.
+type testWorker struct {
+	local *dualvdd.Local
+	ts    *httptest.Server
+}
+
+func (w *testWorker) kill() {
+	w.ts.CloseClientConnections()
+	w.ts.Close()
+}
+
+// newWorker starts a worker service; cleanup is registered.
+func newWorker(t *testing.T, opts ...dualvdd.LocalOption) *testWorker {
+	t.Helper()
+	local := dualvdd.NewLocal(opts...)
+	ts := httptest.NewServer(server.New(local, server.WithRequestTimeout(5*time.Second)))
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		_ = local.Close(ctx)
+	})
+	return &testWorker{local: local, ts: ts}
+}
+
+// fastDial builds worker clients with a snappy retry policy so worker-death
+// tests don't wait out the default backoff schedule.
+func fastDial(url string) (fleet.WorkerClient, error) {
+	return client.New(url, client.WithRetry(2, 10*time.Millisecond, 50*time.Millisecond))
+}
+
+// newFleet builds a coordinator over the given workers; cleanup registered.
+func newFleet(t *testing.T, workers []*testWorker, opts ...fleet.Option) *fleet.Coordinator {
+	t.Helper()
+	urls := make([]string, len(workers))
+	for i, w := range workers {
+		urls[i] = w.ts.URL
+	}
+	opts = append([]fleet.Option{fleet.WithDialer(fastDial)}, opts...)
+	co, err := fleet.New(urls, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		_ = co.Close(ctx)
+	})
+	return co
+}
+
+// resumeSweep is the small grid the resume and equivalence tests run on:
+// one circuit, four low-rail points, one group — everything lands on one
+// worker's warm arc.
+func resumeSweep() dualvdd.Sweep {
+	base := dualvdd.DefaultConfig()
+	base.SimWords = 32
+	return dualvdd.Sweep{
+		Circuits:   dualvdd.SweepBenchmarks("x2"),
+		Base:       base,
+		Algorithms: []dualvdd.Algorithm{dualvdd.AlgoCVS},
+		Axes:       dualvdd.Axes{VDDL: []float64{4.3, 4.1, 3.9, 3.7}},
+	}
+}
+
+// TestFleetMatchesLocal holds the coordinator to the Runner contract's
+// bit-identical promise: jobs and whole sweeps through a two-worker fleet
+// return exactly what a Local returns, events stream, and a repeat
+// submission is served from the coordinator's own cache.
+func TestFleetMatchesLocal(t *testing.T) {
+	ctx := context.Background()
+	workers := []*testWorker{newWorker(t), newWorker(t)}
+	co := newFleet(t, workers)
+
+	local := dualvdd.NewLocal()
+	defer local.Close(ctx)
+
+	s := resumeSweep()
+	want, err := s.Run(ctx, local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Run(ctx, co)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("fleet sweep returned %d rows, local %d", len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i].Status.Results[0], want[i].Status.Results[0]
+		if math.Float64bits(g.Power) != math.Float64bits(w.Power) || g.STAEvals != w.STAEvals {
+			t.Fatalf("point %d diverged across the fleet: power %v vs %v", i, g.Power, w.Power)
+		}
+	}
+
+	// One group → one worker: the consistent-hash placement keeps the whole
+	// sweep on a single warm arc, and the other worker computes nothing.
+	var busy int
+	for _, w := range workers {
+		if w.local.Metrics().JobsDone > 0 {
+			busy++
+		}
+	}
+	if busy != 1 {
+		t.Fatalf("one sweep group spread across %d workers, want 1", busy)
+	}
+
+	// Rerun: every point is a coordinator-cache hit; no worker sees a job.
+	before := co.Metrics()
+	if _, err := s.Run(ctx, co); err != nil {
+		t.Fatal(err)
+	}
+	after := co.Metrics()
+	if after.CacheHits != before.CacheHits+4 {
+		t.Fatalf("rerun hit the cache %d times, want 4", after.CacheHits-before.CacheHits)
+	}
+	if after.STAEvals != before.STAEvals {
+		t.Fatal("rerun recomputed despite the cache")
+	}
+
+	// Watch streams the relayed events for a finished job.
+	id, err := co.Submit(ctx, dualvdd.BenchmarkJob("x2", dualvdd.WithSimWords(32)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := co.Watch(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]int{}
+	for ev := range events {
+		kinds[dualvdd.EventKind(ev)]++
+	}
+	if kinds[dualvdd.EventKindMapped] == 0 || kinds[dualvdd.EventKindResult] == 0 {
+		t.Fatalf("fleet watch lost the event stream: %v", kinds)
+	}
+}
+
+// TestFleetRedispatchOnWorkerDeath kills the worker that owns a running job
+// (connections severed, listener closed — the HTTP equivalent of SIGKILL)
+// and asserts the coordinator moves the job to the surviving worker and
+// still returns the bit-identical result.
+func TestFleetRedispatchOnWorkerDeath(t *testing.T) {
+	ctx := context.Background()
+	workers := []*testWorker{newWorker(t), newWorker(t)}
+	co := newFleet(t, workers)
+
+	// A job slow enough to be mid-flight when its worker dies.
+	job := dualvdd.BenchmarkJob("alu4", dualvdd.WithSimWords(512), dualvdd.WithAlgorithms(dualvdd.AlgoCVS))
+	id, err := co.Submit(ctx, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Find the owner: the worker whose Local has accepted the job.
+	var owner, survivor *testWorker
+	deadline := time.Now().Add(10 * time.Second)
+	for owner == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("no worker ever accepted the job")
+		}
+		for i, w := range workers {
+			m := w.local.Metrics()
+			if m.JobsQueued+m.JobsRunning+int(m.JobsDone) > 0 {
+				owner, survivor = w, workers[1-i]
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	owner.kill()
+
+	st, err := co.Result(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != dualvdd.JobDone {
+		t.Fatalf("job ended %s after worker death: %s", st.State, st.Error)
+	}
+
+	// The survivor computed it; the result matches a local run bit for bit.
+	local := dualvdd.NewLocal()
+	defer local.Close(ctx)
+	lid, err := local.Submit(ctx, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lst, err := local.Result(ctx, lid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(st.Results[0].Power) != math.Float64bits(lst.Results[0].Power) {
+		t.Fatal("re-dispatched result diverged from a local run")
+	}
+	if survivor.local.Metrics().JobsDone == 0 {
+		t.Fatal("survivor never ran the re-dispatched job")
+	}
+	m := co.Metrics()
+	if m.Redispatches == 0 {
+		t.Fatalf("no re-dispatch recorded: %+v", m)
+	}
+	if m.WorkersDead == 0 {
+		t.Fatalf("dead worker not marked: %+v", m)
+	}
+}
+
+// TestFleetResumableSweep is the tentpole acceptance test: a coordinator on
+// durable stores is killed after completing part of a sweep; a fresh
+// coordinator on the same directory — with brand-new workers holding no
+// state at all — re-runs the whole sweep and must (a) answer the already
+// computed points from the disk CAS with zero recomputation, (b) compute
+// exactly the missing points, and (c) produce rows bit-identical to an
+// uninterrupted local run. The eval counters are the proof: evals(first
+// life) + evals(second life) == evals(uninterrupted), to the unit.
+func TestFleetResumableSweep(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	s := resumeSweep()
+	points, err := s.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("test grid has %d points, want 4", len(points))
+	}
+
+	// Uninterrupted baseline on a plain Local.
+	baseline := dualvdd.NewLocal()
+	want, err := s.Run(ctx, baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseEvals := baseline.Metrics().STAEvals
+	_ = baseline.Close(ctx)
+
+	openStores := func() (*store.CAS, *store.Journal) {
+		cas, err := store.OpenCAS(filepath.Join(dir, "cas"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		journal, err := store.OpenJournal(filepath.Join(dir, "jobs.log"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cas, journal
+	}
+
+	// First life: complete the first two points, then die.
+	cas1, journal1 := openStores()
+	co1 := newFleet(t, []*testWorker{newWorker(t), newWorker(t)},
+		fleet.WithResultCache(cas1), fleet.WithJobStore(journal1))
+	var firstIDs []dualvdd.JobID
+	for _, pt := range points[:2] {
+		id, err := co1.Submit(ctx, pt.Job())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := co1.Result(ctx, id); err != nil {
+			t.Fatal(err)
+		}
+		firstIDs = append(firstIDs, id)
+	}
+	firstEvals := co1.Metrics().STAEvals
+	if firstEvals <= 0 {
+		t.Fatal("first life computed nothing")
+	}
+	if err := co1.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := journal1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second life: same directory, fresh coordinator, fresh stateless
+	// workers. Any point not answered by the CAS must be recomputed from
+	// scratch — so the eval counter can't hide recomputation.
+	cas2, journal2 := openStores()
+	defer journal2.Close()
+	co2 := newFleet(t, []*testWorker{newWorker(t), newWorker(t)},
+		fleet.WithResultCache(cas2), fleet.WithJobStore(journal2))
+
+	// The journal replay keeps the first life's jobs queryable.
+	for _, id := range firstIDs {
+		st, err := co2.Status(ctx, id)
+		if err != nil {
+			t.Fatalf("first-life job %s lost across restart: %v", id, err)
+		}
+		if st.State != dualvdd.JobDone {
+			t.Fatalf("replayed job %s in state %s", id, st.State)
+		}
+	}
+
+	got, err := s.Run(ctx, co2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		g, w := got[i].Status.Results[0], want[i].Status.Results[0]
+		if math.Float64bits(g.Power) != math.Float64bits(w.Power) ||
+			g.STAEvals != w.STAEvals || g.LowGates != w.LowGates {
+			t.Fatalf("resumed point %d not bit-identical to the uninterrupted run", i)
+		}
+	}
+
+	m := co2.Metrics()
+	if m.CacheHits != 2 || m.CacheMisses != 2 {
+		t.Fatalf("resume split wrong: %d hits / %d misses, want 2/2", m.CacheHits, m.CacheMisses)
+	}
+	// Zero recomputation, proven by the counters: the two lives together
+	// spent exactly the uninterrupted run's evaluations.
+	if firstEvals+m.STAEvals != baseEvals {
+		t.Fatalf("recomputation across restart: %d + %d != %d evals",
+			firstEvals, m.STAEvals, baseEvals)
+	}
+}
+
+// TestFleetTenancy exercises per-tenant admission end to end: rate-limited
+// tenants are refused with the ErrQueueFull sentinel (429 over the wire,
+// including through a server+client stack in front of the coordinator),
+// tenants are isolated, and the rejects are accounted per tenant.
+func TestFleetTenancy(t *testing.T) {
+	ctx := context.Background()
+	co := newFleet(t, []*testWorker{newWorker(t)},
+		fleet.WithTenantRate(0.001, 1)) // one job, then a very long wait
+
+	job := dualvdd.BenchmarkJob("x2", dualvdd.WithSimWords(32))
+	alice := dualvdd.WithTenant(ctx, "alice")
+	id, err := co.Submit(alice, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co.Result(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co.Submit(alice, dualvdd.BenchmarkJob("mux", dualvdd.WithSimWords(32))); !errors.Is(err, dualvdd.ErrQueueFull) {
+		t.Fatalf("rate-limited submission returned %v, want ErrQueueFull", err)
+	}
+	// Bob has his own bucket.
+	if _, err := co.Submit(dualvdd.WithTenant(ctx, "bob"), job); err != nil {
+		t.Fatalf("bob rejected by alice's bucket: %v", err)
+	}
+
+	// Through the full HTTP stack: the client forwards the tenant header,
+	// the server restores it, the coordinator rejects, and the 429 maps
+	// back to the sentinel.
+	ts := httptest.NewServer(server.New(co))
+	defer ts.Close()
+	hc, err := client.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hc.Submit(alice, dualvdd.BenchmarkJob("z4ml", dualvdd.WithSimWords(32))); !errors.Is(err, dualvdd.ErrQueueFull) {
+		t.Fatalf("over-the-wire rate limit returned %v, want ErrQueueFull", err)
+	}
+
+	m := co.Metrics()
+	if m.AdmissionRejects != 2 || m.TenantRejects["alice"] != 2 {
+		t.Fatalf("reject accounting: %+v", m)
+	}
+}
+
+// TestFleetCancel: cancelling a fleet job lands it in JobCancelled like a
+// Local, and the admission slot frees.
+func TestFleetCancel(t *testing.T) {
+	ctx := context.Background()
+	co := newFleet(t, []*testWorker{newWorker(t)}, fleet.WithTenantQuota(1))
+
+	slow := dualvdd.BenchmarkJob("des", dualvdd.WithSimWords(4096))
+	id, err := co.Submit(ctx, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := co.Cancel(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	st, err := co.Result(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != dualvdd.JobCancelled {
+		t.Fatalf("cancelled fleet job ended %s", st.State)
+	}
+	// The quota slot is free again.
+	id2, err := co.Submit(ctx, dualvdd.BenchmarkJob("x2", dualvdd.WithSimWords(32)))
+	if err != nil {
+		t.Fatalf("quota slot leaked after cancel: %v", err)
+	}
+	if _, err := co.Result(ctx, id2); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -30,6 +30,19 @@ const (
 	// ContentTypeJSON and ContentTypeSSE are the response media types.
 	ContentTypeJSON = "application/json"
 	ContentTypeSSE  = "text/event-stream"
+
+	// TenantHeader carries the submitter's tenant tag over the wire: the
+	// client sets it from dualvdd.TenantFromContext and the server restores
+	// it with dualvdd.WithTenant, so a fleet coordinator behind the HTTP
+	// surface applies per-tenant admission to remote submissions too.
+	TenantHeader = "X-Dualvdd-Tenant"
+
+	// EndEventName is the SSE event name of the explicit end-of-stream frame
+	// the server appends once a job's event stream is over because the job
+	// turned terminal. Its presence is how a client distinguishes "stream
+	// complete" from "connection dropped": a stream that ends without it may
+	// be resumed with Last-Event-ID.
+	EndEventName = "end"
 )
 
 // JobRequest is the POST /v1/jobs body.

@@ -1,0 +1,96 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"dualvdd"
+)
+
+// Journal is the disk-backed dualvdd.JobStore: one JSON record per line,
+// appended with O_APPEND so each Append is a single atomic write. Replay
+// reads the file front to back and stops at the first undecodable line —
+// after a crash mid-append the torn tail is the only thing lost, never a
+// record before it. The journal records outcomes, not work: replaying it
+// restores a service's terminal job history and ID sequence, while the CAS
+// restores the results themselves.
+type Journal struct {
+	path string
+
+	mu sync.Mutex
+	f  *os.File
+}
+
+// OpenJournal opens (creating as needed) the journal file at path.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open journal: %w", err)
+	}
+	return &Journal{path: path, f: f}, nil
+}
+
+var _ dualvdd.JobStore = (*Journal)(nil)
+
+// Append writes one record as a single line.
+func (j *Journal) Append(rec dualvdd.JobRecord) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: journal append: %w", err)
+	}
+	b = append(b, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("store: journal %s is closed", j.path)
+	}
+	if _, err := j.f.Write(b); err != nil {
+		return fmt.Errorf("store: journal append: %w", err)
+	}
+	return nil
+}
+
+// Replay streams the journal's records in append order, reading through a
+// separate handle so it can run while appends continue. A torn or corrupt
+// line ends the replay silently: everything after a torn write is suspect,
+// and losing the tail of a crashed journal is the documented trade.
+func (j *Journal) Replay(fn func(rec dualvdd.JobRecord) error) error {
+	r, err := os.Open(j.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("store: journal replay: %w", err)
+	}
+	defer r.Close()
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for scanner.Scan() {
+		var rec dualvdd.JobRecord
+		if err := json.Unmarshal(scanner.Bytes(), &rec); err != nil {
+			return nil // torn tail — stop at the last whole record
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+	return scanner.Err()
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Close flushes and closes the underlying file; Append fails afterwards.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}

@@ -29,23 +29,23 @@ type Local struct {
 	history    int
 	warmLimit  int
 
-	mu       sync.Mutex
-	jobs     map[JobID]*localJob
-	retired  []JobID // terminal jobs in completion order, oldest first
-	order    int64
-	closed   bool
-	idle     chan struct{} // closed when the worker pool exits
-	cache    map[string]*list.Element
-	cacheLRU *list.List // front = most recent; values are *cacheEntry
-	warm     map[string]*list.Element
-	warmLRU  *list.List // front = most recent; values are *warmEntry
-	metrics  Metrics
-}
+	// cache is the content-addressed result store (nil = caching disabled)
+	// and journal the optional durability log of terminal jobs. Both default
+	// to the in-memory implementations; LocalResultCache / LocalJobStore
+	// swap in the disk-backed ones from internal/store, which is what makes
+	// a restarted service resume instead of recompute.
+	cache   ResultCache
+	journal JobStore
 
-type cacheEntry struct {
-	key     string
-	design  *DesignInfo
-	results []*FlowResult
+	mu      sync.Mutex
+	jobs    map[JobID]*localJob
+	retired []JobID // terminal jobs in completion order, oldest first
+	order   int64
+	closed  bool
+	idle    chan struct{} // closed when the worker pool exits
+	warm    map[string]*list.Element
+	warmLRU *list.List // front = most recent; values are *warmEntry
+	metrics Metrics
 }
 
 // warmEntry is one warm-prep group: every job whose warmPrepKey matches
@@ -66,6 +66,7 @@ type warmEntry struct {
 type localJob struct {
 	spec Job
 	key  string
+	seq  int64          // submission counter; journaled for replay
 	net  *logic.Network // parsed once at Submit
 
 	ctx    context.Context
@@ -104,13 +105,34 @@ func LocalQueueDepth(n int) LocalOption {
 }
 
 // LocalCacheEntries bounds the content-addressed result cache (default 256).
-// Zero disables caching.
+// Zero disables caching. The option configures the default in-memory LRU;
+// LocalResultCache overrides it entirely.
 func LocalCacheEntries(n int) LocalOption {
 	return func(l *Local) {
 		if n >= 0 {
 			l.cacheLimit = n
 		}
 	}
+}
+
+// LocalResultCache swaps the runner's result cache for a custom
+// implementation — typically the disk CAS from internal/store, so cached
+// results survive the process. It overrides LocalCacheEntries; nil keeps the
+// default. The runner does not Close the cache: the caller owns its
+// lifecycle (a disk CAS may be shared across restarts by construction).
+func LocalResultCache(c ResultCache) LocalOption {
+	return func(l *Local) { l.cache = c }
+}
+
+// LocalJobStore attaches a durability journal: every terminal job is
+// appended, and NewLocal replays the store so the previous life's terminal
+// jobs stay queryable (Status/Result/Watch see the recorded outcome; the
+// replayed event log is empty) and ID allocation resumes past them. The
+// journal never changes what runs — it only remembers. Append failures are
+// counted on Metrics.StoreErrors rather than failing jobs. The caller owns
+// the store's lifecycle.
+func LocalJobStore(s JobStore) LocalOption {
+	return func(l *Local) { l.journal = s }
 }
 
 // LocalJobHistory bounds how many terminal jobs stay queryable (default
@@ -143,7 +165,10 @@ func LocalWarmPrep(n int) LocalOption {
 	}
 }
 
-// NewLocal builds a Local runner and starts its worker pool.
+// NewLocal builds a Local runner and starts its worker pool. With a
+// LocalJobStore attached, the store is replayed first: the previous life's
+// terminal jobs become queryable history and ID allocation resumes past the
+// largest replayed sequence number.
 func NewLocal(opts ...LocalOption) *Local {
 	l := &Local{
 		workers:    1,
@@ -151,8 +176,6 @@ func NewLocal(opts ...LocalOption) *Local {
 		history:    1024,
 		jobs:       make(map[JobID]*localJob),
 		idle:       make(chan struct{}),
-		cache:      make(map[string]*list.Element),
-		cacheLRU:   list.New(),
 		warm:       make(map[string]*list.Element),
 		warmLRU:    list.New(),
 	}
@@ -161,6 +184,12 @@ func NewLocal(opts ...LocalOption) *Local {
 	}
 	if l.queue == nil {
 		l.queue = make(chan *localJob, 64)
+	}
+	if l.cache == nil && l.cacheLimit > 0 {
+		l.cache = NewMemoryCache(l.cacheLimit)
+	}
+	if l.journal != nil {
+		l.replayJournal()
 	}
 	// The pool is Batch fanning out n infinite worker loops: each pool
 	// goroutine takes exactly one loop (a loop only returns at drain), so
@@ -210,9 +239,25 @@ func (l *Local) Submit(ctx context.Context, job Job) (JobID, error) {
 		return "", ErrClosed
 	}
 	l.order++
-	id := JobID(fmt.Sprintf("job-%06d-%s", l.order, key[:8]))
+	j.seq = l.order
+	id := JobID(fmt.Sprintf("job-%06d-%s", j.seq, key[:8]))
 	j.status = JobStatus{ID: id, State: JobQueued}
-	if entry := l.cacheGet(key); entry != nil {
+	l.mu.Unlock()
+
+	// The cache lookup happens outside l.mu: a disk-backed ResultCache does
+	// I/O, and the interface carries its own synchronization.
+	var entry *CachedResult
+	if l.cache != nil {
+		entry, _ = l.cache.Get(key)
+	}
+
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		jcancel()
+		return "", ErrClosed
+	}
+	if entry != nil {
 		l.metrics.CacheHits++
 		l.metrics.JobsDone++
 		l.jobs[id] = j
@@ -238,18 +283,18 @@ func (l *Local) Submit(ctx context.Context, job Job) (JobID, error) {
 // completeFromCache finishes a job with another run's results, replaying the
 // synthetic event history (mapped, then one result per algorithm) so Watch
 // behaves the same for hits and misses.
-func (j *localJob) completeFromCache(entry *cacheEntry) {
-	design := *entry.design
+func (j *localJob) completeFromCache(entry *CachedResult) {
+	design := *entry.Design
 	j.mu.Lock()
 	j.status.State = JobDone
 	j.status.Cached = true
 	j.status.Design = &design
-	j.status.Results = entry.results
+	j.status.Results = entry.Results
 	j.events = append(j.events, EventMapped{
 		Circuit: design.Name, Gates: design.Gates,
 		MinDelay: design.MinDelay, Tspec: design.Tspec, OrgPower: design.OrgPower,
 	})
-	for _, res := range entry.results {
+	for _, res := range entry.Results {
 		j.events = append(j.events, EventResult{Circuit: design.Name, Result: res})
 	}
 	j.bump() // a Watch may have attached between Submit's map insert and here
@@ -390,10 +435,13 @@ func (l *Local) Cancel(ctx context.Context, id JobID) error {
 // Metrics returns a counters snapshot.
 func (l *Local) Metrics() Metrics {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	m := l.metrics
-	m.CacheEntries = l.cacheLRU.Len()
 	m.PrepGroups = l.warmLRU.Len()
+	l.mu.Unlock()
+	if l.cache != nil {
+		m.CacheEntries = l.cache.Len()
+		m.CacheBytes = l.cache.Bytes()
+	}
 	return m
 }
 
@@ -486,13 +534,15 @@ func (l *Local) runJob(j *localJob) {
 			l.metrics.CandEvals += r.CandEvals
 			l.metrics.SimNs += r.SimTime.Nanoseconds()
 		}
-		l.cachePut(j.key, &cacheEntry{key: j.key, design: design, results: results})
 	case JobCancelled:
 		l.metrics.JobsCancelled++
 	default:
 		l.metrics.JobsFailed++
 	}
 	l.mu.Unlock()
+	if state == JobDone && l.cache != nil {
+		l.cache.Put(&CachedResult{Key: j.key, Design: design, Results: results})
+	}
 	l.retire(j)
 }
 
@@ -511,12 +561,19 @@ func stripResults(results []*FlowResult) []*FlowResult {
 }
 
 // retire frees a terminal job's input (the parsed network and any inline
-// BLIF text are dead weight once the run is over) and enforces the
-// job-history bound. Call without l.mu held, after the terminal state is
-// published.
+// BLIF text are dead weight once the run is over), journals the terminal
+// record, and enforces the job-history bound. Call without l.mu held, after
+// the terminal state is published.
 func (l *Local) retire(j *localJob) {
 	j.net = nil
 	j.spec.BLIF = ""
+	if l.journal != nil {
+		if err := l.journal.Append(JobRecord{Seq: j.seq, Key: j.key, Status: *j.snapshot()}); err != nil {
+			l.mu.Lock()
+			l.metrics.StoreErrors++
+			l.mu.Unlock()
+		}
+	}
 	l.mu.Lock()
 	l.retired = append(l.retired, j.status.ID)
 	for len(l.retired) > l.history {
@@ -524,6 +581,53 @@ func (l *Local) retire(j *localJob) {
 		l.retired = l.retired[1:]
 	}
 	l.mu.Unlock()
+}
+
+// replayJournal reconstructs the previous life's terminal job history from
+// the attached JobStore: each record becomes a queryable terminal job (empty
+// event log — only the outcome survives a restart), the newest l.history of
+// them are kept, and the submission counter resumes past the largest
+// replayed sequence number so new IDs never collide with journaled ones.
+// Called from NewLocal before the worker pool accepts jobs; no lock needed.
+func (l *Local) replayJournal() {
+	type replayed struct {
+		seq int64
+		rec JobRecord
+	}
+	var recs []replayed
+	err := l.journal.Replay(func(rec JobRecord) error {
+		if rec.Status.ID == "" || !rec.Status.State.Terminal() {
+			return nil // skip malformed or non-terminal records
+		}
+		recs = append(recs, replayed{seq: rec.Seq, rec: rec})
+		if rec.Seq > l.order {
+			l.order = rec.Seq
+		}
+		return nil
+	})
+	if err != nil {
+		l.metrics.StoreErrors++
+	}
+	if len(recs) > l.history {
+		recs = recs[len(recs)-l.history:]
+	}
+	for _, r := range recs {
+		st := r.rec.Status
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		j := &localJob{
+			key:    r.rec.Key,
+			seq:    r.seq,
+			ctx:    ctx,
+			cancel: cancel,
+			status: st,
+			update: make(chan struct{}),
+			done:   make(chan struct{}),
+		}
+		close(j.done)
+		l.jobs[st.ID] = j
+		l.retired = append(l.retired, st.ID)
+	}
 }
 
 // execute runs the job's flow under its per-job context: prepare (map,
@@ -636,36 +740,4 @@ func (l *Local) warmGet(key string) *warmEntry {
 		delete(l.warm, oldest.Value.(*warmEntry).key)
 	}
 	return e
-}
-
-// cacheGet looks a key up and marks it most recent; call with l.mu held.
-func (l *Local) cacheGet(key string) *cacheEntry {
-	if l.cacheLimit == 0 {
-		return nil
-	}
-	el, ok := l.cache[key]
-	if !ok {
-		return nil
-	}
-	l.cacheLRU.MoveToFront(el)
-	return el.Value.(*cacheEntry)
-}
-
-// cachePut inserts a result, evicting the least-recently-used entry past the
-// limit; call with l.mu held.
-func (l *Local) cachePut(key string, entry *cacheEntry) {
-	if l.cacheLimit == 0 {
-		return
-	}
-	if el, ok := l.cache[key]; ok {
-		l.cacheLRU.MoveToFront(el)
-		el.Value = entry
-		return
-	}
-	l.cache[key] = l.cacheLRU.PushFront(entry)
-	for l.cacheLRU.Len() > l.cacheLimit {
-		oldest := l.cacheLRU.Back()
-		l.cacheLRU.Remove(oldest)
-		delete(l.cache, oldest.Value.(*cacheEntry).key)
-	}
 }

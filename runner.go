@@ -201,6 +201,38 @@ func (j Job) key() (string, *logic.Network, error) {
 	return hex.EncodeToString(h.Sum(nil)), net, nil
 }
 
+// GroupKey returns the job's placement address: like Key, but with Vlow and
+// the algorithm list excluded (and SimWorkers, as always). It is exactly the
+// warm-prep grouping of LocalWarmPrep — every point of one circuit's
+// low-rail sweep shares a GroupKey — which is why a fleet coordinator shards
+// on it: repeat traffic for one circuit lands on the worker whose prepared
+// state is already warm for it.
+func (j Job) GroupKey() (string, error) {
+	_, net, err := j.key()
+	if err != nil {
+		return "", err
+	}
+	return warmPrepKey(net, j.Config)
+}
+
+// tenantKey is the context key of WithTenant.
+type tenantKey struct{}
+
+// WithTenant tags a context with the tenant a submission is accounted to.
+// A fleet coordinator applies its per-tenant quotas and rate limits to the
+// tag at admission; runners without tenancy ignore it. The client package
+// forwards the tag over HTTP as a request header, and the server restores
+// it, so tenancy crosses the wire transparently.
+func WithTenant(ctx context.Context, tenant string) context.Context {
+	return context.WithValue(ctx, tenantKey{}, tenant)
+}
+
+// TenantFromContext returns the tenant tag, or "" for untagged contexts.
+func TenantFromContext(ctx context.Context) string {
+	t, _ := ctx.Value(tenantKey{}).(string)
+	return t
+}
+
 // DesignInfo is the serializable summary of a prepared design — what
 // EventMapped reports, kept on the job status so late watchers and remote
 // clients see it without replaying the stream.
@@ -253,10 +285,17 @@ type Metrics struct {
 	JobsFailed    int64 `json:"jobs_failed"`
 	JobsCancelled int64 `json:"jobs_cancelled"`
 	// CacheHits and CacheMisses count Submit-time cache lookups;
-	// CacheEntries is the current resident entry count.
+	// CacheEntries is the current resident entry count and CacheBytes the
+	// cache's storage footprint where the implementation accounts it (the
+	// disk CAS does; the memory cache reports 0).
 	CacheHits    int64 `json:"cache_hits"`
 	CacheMisses  int64 `json:"cache_misses"`
 	CacheEntries int   `json:"cache_entries"`
+	CacheBytes   int64 `json:"cache_bytes,omitempty"`
+	// StoreErrors counts failed writes to the durable stores (journal
+	// appends, CAS puts). Jobs never fail on them — durability is
+	// best-effort — but a non-zero count means restarts may recompute.
+	StoreErrors int64 `json:"store_errors,omitempty"`
 	// PrepBuilds and PrepReuses count warm prepared-state constructions and
 	// the runs that rode an existing one (LocalWarmPrep); PrepGroups is the
 	// current resident group count. Reuses/Builds is the warm path's
@@ -271,6 +310,19 @@ type Metrics struct {
 	STAEvals  int64 `json:"sta_evals"`
 	CandEvals int64 `json:"cand_evals"`
 	SimNs     int64 `json:"sim_ns"`
+
+	// Fleet-level gauges, set only by a fleet.Coordinator. WorkersLive and
+	// WorkersDead partition the registered worker set by health;
+	// PointsInFlight counts accepted jobs not yet terminal; Redispatches
+	// counts jobs moved off a dead worker onto a live one.
+	WorkersLive    int   `json:"workers_live,omitempty"`
+	WorkersDead    int   `json:"workers_dead,omitempty"`
+	PointsInFlight int   `json:"points_in_flight,omitempty"`
+	Redispatches   int64 `json:"redispatches,omitempty"`
+	// AdmissionRejects totals submissions refused at admission (quota or
+	// rate limit); TenantRejects breaks the total down per tenant.
+	AdmissionRejects int64            `json:"admission_rejects,omitempty"`
+	TenantRejects    map[string]int64 `json:"tenant_rejects,omitempty"`
 }
 
 // MetricsProvider is implemented by runners that keep service counters

@@ -18,7 +18,10 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
+	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"dualvdd"
@@ -100,7 +103,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, report.ErrorResponse{Error: "bad job request: " + err.Error()})
 		return
 	}
-	id, err := s.runner.Submit(r.Context(), req.Job())
+	ctx := r.Context()
+	if tenant := r.Header.Get(report.TenantHeader); tenant != "" {
+		// Restore the client-side tenant tag so a tenancy-aware runner (a
+		// fleet coordinator) can apply its admission policy.
+		ctx = dualvdd.WithTenant(ctx, tenant)
+	}
+	id, err := s.runner.Submit(ctx, req.Job())
 	if err != nil {
 		writeError(w, err)
 		return
@@ -111,6 +120,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, st)
+}
+
+// parseLastEventID reads the SSE resume cursor: the index of the last event
+// the client already has, or -1 when absent or malformed (full replay).
+func parseLastEventID(r *http.Request) int {
+	raw := r.Header.Get("Last-Event-ID")
+	if raw == "" {
+		return -1
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil || n < 0 {
+		return -1
+	}
+	return n
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -154,9 +177,12 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleEvents re-emits the job's typed event stream as SSE: one
-// `data: <envelope>` frame per event, exactly the dualvdd.MarshalEvent
-// encoding. The stream ends (connection close) when the job reaches a
-// terminal state; a late subscriber gets the full history replayed first.
+// `id: <index>` + `data: <envelope>` frame per event, exactly the
+// dualvdd.MarshalEvent encoding. A late subscriber gets the full history
+// replayed first; a reconnecting one sends Last-Event-ID and is replayed
+// only the events past that index. When the stream ends because the job is
+// terminal the server appends an explicit `event: end` frame, so the client
+// can tell a complete stream from a dropped connection.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	id := dualvdd.JobID(r.PathValue("id"))
 	flusher, ok := w.(http.Flusher)
@@ -169,6 +195,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	lastSeen := parseLastEventID(r)
 	w.Header().Set("Content-Type", report.ContentTypeSSE)
 	w.Header().Set("Cache-Control", "no-store")
 	w.WriteHeader(http.StatusOK)
@@ -178,16 +205,31 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	// pinning this handler and the Watch goroutine forever, but a live
 	// stream can outlast any job.
 	rc := http.NewResponseController(w)
+	index := -1
 	for ev := range events {
+		index++
+		if index <= lastSeen {
+			continue
+		}
 		b, err := dualvdd.MarshalEvent(ev)
 		if err != nil {
 			return
 		}
+		frame := fmt.Sprintf("id: %d\ndata: %s\n\n", index, b)
 		_ = rc.SetWriteDeadline(time.Now().Add(s.waitTimeout))
-		if _, err := w.Write(append(append([]byte("data: "), b...), '\n', '\n')); err != nil {
+		if _, err := io.WriteString(w, frame); err != nil {
 			return
 		}
 		flusher.Flush()
+	}
+	// Watch closes the channel either because the job turned terminal or
+	// because the request context died; only the former gets the marker (the
+	// write is best-effort — a gone client cannot read it anyway).
+	if st, err := s.runner.Status(context.Background(), id); err == nil && st.State.Terminal() {
+		_ = rc.SetWriteDeadline(time.Now().Add(s.waitTimeout))
+		if _, err := io.WriteString(w, "event: "+report.EndEventName+"\ndata: {}\n\n"); err == nil {
+			flusher.Flush()
+		}
 	}
 }
 
@@ -206,5 +248,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			report.ErrorResponse{Error: "runner keeps no metrics"})
 		return
 	}
-	writeJSON(w, http.StatusOK, mp.Metrics())
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		writeJSON(w, http.StatusOK, mp.Metrics())
+	case "prom":
+		w.Header().Set("Content-Type", report.ContentTypeProm)
+		w.WriteHeader(http.StatusOK)
+		_ = report.WriteMetricsProm(w, mp.Metrics())
+	default:
+		writeJSON(w, http.StatusBadRequest,
+			report.ErrorResponse{Error: "unknown metrics format " + strconv.Quote(format)})
+	}
 }

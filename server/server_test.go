@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -344,5 +345,134 @@ func TestCancelOverHTTP(t *testing.T) {
 	}
 	if st.State != dualvdd.JobCancelled {
 		t.Fatalf("cancelled job ended %s (%s)", st.State, st.Error)
+	}
+}
+
+// TestMetricsFormats pins the /metricsz content negotiation: JSON by default,
+// the Prometheus text exposition under ?format=prom, and a 400 for anything
+// else. The exact bytes of both encodings are pinned by the golden tests in
+// internal/report; here we check the endpoint serves them.
+func TestMetricsFormats(t *testing.T) {
+	ctx := context.Background()
+	_, c := newPair(t)
+	if _, err := c.Submit(ctx, dualvdd.BenchmarkJob("x2")); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(c.BaseURL() + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("default metrics content type %q", ct)
+	}
+
+	resp, err = http.Get(c.BaseURL() + "/metricsz?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("prom format got HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("prom content type %q", ct)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	for _, series := range []string{"# TYPE dualvdd_jobs_done_total counter", "dualvdd_cache_misses_total"} {
+		if !strings.Contains(string(b), series) {
+			t.Fatalf("prom exposition missing %q:\n%s", series, b)
+		}
+	}
+
+	resp, err = http.Get(c.BaseURL() + "/metricsz?format=xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown format got HTTP %d, want 400", resp.StatusCode)
+	}
+}
+
+// readSSE slurps one raw SSE response into (ids, end-marker-seen).
+func readSSE(t *testing.T, url, lastEventID string) (ids []string, ended bool) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastEventID != "" {
+		req.Header.Set("Last-Event-ID", lastEventID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events got HTTP %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		if id, ok := strings.CutPrefix(line, "id: "); ok {
+			ids = append(ids, id)
+		}
+		if line == "event: end" {
+			ended = true
+		}
+	}
+	return ids, ended
+}
+
+// TestEventStreamResume pins the SSE resume protocol on the wire: every data
+// frame carries a monotonically increasing id, a finished stream is closed by
+// an explicit `event: end` frame, and a reconnect with Last-Event-ID replays
+// only the events past the cursor — the server half of Watch's reconnect.
+func TestEventStreamResume(t *testing.T) {
+	ctx := context.Background()
+	_, c := newPair(t)
+
+	id, err := c.Submit(ctx, dualvdd.BenchmarkJob("x2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Result(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+
+	url := c.BaseURL() + "/v1/jobs/" + string(id) + "/events"
+	ids, ended := readSSE(t, url, "")
+	if len(ids) < 3 {
+		t.Fatalf("terminal job replayed only %d events", len(ids))
+	}
+	if !ended {
+		t.Fatal("finished stream carried no end-of-stream marker")
+	}
+	for i, got := range ids {
+		if want := strconv.Itoa(i); got != want {
+			t.Fatalf("frame %d has id %q", i, got)
+		}
+	}
+
+	// Reconnect claiming all but the last two events: exactly two replayed,
+	// with their original ids.
+	cursor := strconv.Itoa(len(ids) - 3)
+	tail, ended := readSSE(t, url, cursor)
+	if !ended {
+		t.Fatal("resumed stream carried no end-of-stream marker")
+	}
+	if len(tail) != 2 || tail[0] != strconv.Itoa(len(ids)-2) || tail[1] != strconv.Itoa(len(ids)-1) {
+		t.Fatalf("resume from %s replayed ids %v", cursor, tail)
+	}
+
+	// A malformed cursor degrades to a full replay, never an error.
+	all, _ := readSSE(t, url, "not-a-number")
+	if len(all) != len(ids) {
+		t.Fatalf("malformed cursor replayed %d of %d events", len(all), len(ids))
 	}
 }

@@ -1,0 +1,182 @@
+package dualvdd
+
+import (
+	"container/list"
+	"sync"
+)
+
+// This file is the durable-state seam of the job service: the result cache
+// and the job history Local (and fleet.Coordinator) keep are defined as
+// interfaces here, with the in-memory reference implementations alongside.
+// internal/store provides the disk-backed versions — a directory CAS keyed by
+// Job.Key and an append-only job journal that replays on restart — and the
+// differential suite holds both worlds to identical observable behavior. A
+// process that wires the disk pair survives a crash with its cache and its
+// terminal job history intact, which is what makes sweeps resumable: a
+// restarted service answers every already-computed point from the CAS without
+// recomputation.
+
+// CachedResult is one content-addressed entry of a ResultCache: the complete
+// outcome of a successfully finished job, keyed by its Job.Key. Results are
+// always Circuit-stripped (the job surface never carries netlists), so the
+// struct marshals losslessly to JSON — the disk CAS stores exactly this
+// encoding.
+type CachedResult struct {
+	// Key is the hex SHA-256 content address (Job.Key).
+	Key string `json:"key"`
+	// Design summarizes the prepared circuit.
+	Design *DesignInfo `json:"design"`
+	// Results holds one FlowResult per requested algorithm, in request order.
+	Results []*FlowResult `json:"results"`
+}
+
+// ResultCache is the pluggable content-addressed result store of a job
+// service. Implementations must be safe for concurrent use; Get and Put never
+// fail loudly (a cache is an optimization — a corrupt or missing entry is a
+// miss, not an error). Entries are immutable once Put: callers must not
+// mutate a returned CachedResult.
+type ResultCache interface {
+	// Get returns the entry under key, or false on a miss.
+	Get(key string) (*CachedResult, bool)
+	// Put stores the entry under res.Key, evicting per the implementation's
+	// policy when full.
+	Put(res *CachedResult)
+	// Len is the current resident entry count.
+	Len() int
+	// Bytes is the approximate storage footprint of the resident entries; 0
+	// when the implementation does not account bytes (the memory cache).
+	Bytes() int64
+	// Close releases the cache's resources (a no-op for memory).
+	Close() error
+}
+
+// JobRecord is one entry of the job journal: a terminal job's identity,
+// content key and final status. The journal is append-only — replaying it in
+// order reconstructs the terminal job history of a previous process life.
+type JobRecord struct {
+	// Seq is the service's monotonic submission counter for this job; replay
+	// resumes ID allocation past the largest seq seen.
+	Seq int64 `json:"seq"`
+	// Key is the job's content address.
+	Key string `json:"key"`
+	// Status is the terminal status snapshot (Circuit-stripped by
+	// construction).
+	Status JobStatus `json:"status"`
+}
+
+// JobStore is the pluggable durability seam for job history: every terminal
+// job is appended, and a restarting service replays the log to make its
+// previous life's jobs queryable again (and to resume its ID sequence).
+// Implementations must be safe for concurrent Append; Replay is called once,
+// before the service starts accepting jobs.
+type JobStore interface {
+	// Append records one terminal job.
+	Append(rec JobRecord) error
+	// Replay streams every record in append order. A non-nil error from fn
+	// stops the replay and is returned.
+	Replay(fn func(rec JobRecord) error) error
+	// Close releases the store's resources.
+	Close() error
+}
+
+// MemoryCache is the in-memory ResultCache: an LRU bounded by entry count.
+// It is the reference implementation the disk CAS is differential-tested
+// against, and the default cache of a Local runner.
+type MemoryCache struct {
+	mu    sync.Mutex
+	limit int
+	index map[string]*list.Element
+	lru   *list.List // front = most recent; values are *CachedResult
+}
+
+// NewMemoryCache builds an LRU result cache bounded to limit entries
+// (limit <= 0 means unbounded).
+func NewMemoryCache(limit int) *MemoryCache {
+	return &MemoryCache{
+		limit: limit,
+		index: make(map[string]*list.Element),
+		lru:   list.New(),
+	}
+}
+
+var _ ResultCache = (*MemoryCache)(nil)
+
+// Get looks a key up and marks it most recently used.
+func (c *MemoryCache) Get(key string) (*CachedResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.index[key]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*CachedResult), true
+}
+
+// Put inserts an entry, evicting the least-recently-used one past the limit.
+func (c *MemoryCache) Put(res *CachedResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.index[res.Key]; ok {
+		c.lru.MoveToFront(el)
+		el.Value = res
+		return
+	}
+	c.index[res.Key] = c.lru.PushFront(res)
+	for c.limit > 0 && c.lru.Len() > c.limit {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.index, oldest.Value.(*CachedResult).Key)
+	}
+}
+
+// Len is the resident entry count.
+func (c *MemoryCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Bytes is 0: the memory cache does not account bytes.
+func (c *MemoryCache) Bytes() int64 { return 0 }
+
+// Close is a no-op.
+func (c *MemoryCache) Close() error { return nil }
+
+// MemoryJournal is the in-memory JobStore: an append-only slice. It loses
+// everything with the process — it exists as the reference implementation the
+// disk journal is differential-tested against, and for tests that want replay
+// semantics without a filesystem.
+type MemoryJournal struct {
+	mu   sync.Mutex
+	recs []JobRecord
+}
+
+// NewMemoryJournal builds an empty in-memory journal.
+func NewMemoryJournal() *MemoryJournal { return &MemoryJournal{} }
+
+var _ JobStore = (*MemoryJournal)(nil)
+
+// Append records one terminal job.
+func (s *MemoryJournal) Append(rec JobRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.recs = append(s.recs, rec)
+	return nil
+}
+
+// Replay streams the records in append order.
+func (s *MemoryJournal) Replay(fn func(rec JobRecord) error) error {
+	s.mu.Lock()
+	recs := append([]JobRecord(nil), s.recs...)
+	s.mu.Unlock()
+	for _, rec := range recs {
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close is a no-op.
+func (s *MemoryJournal) Close() error { return nil }
