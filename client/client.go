@@ -31,6 +31,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -54,6 +55,10 @@ type Client struct {
 	base  *url.URL
 	http  *http.Client
 	retry retryPolicy
+	sleep func(ctx context.Context, d time.Duration) error
+
+	rngMu sync.Mutex
+	rng   *rand.Rand // backoff jitter; per-client so it can be seeded
 }
 
 // Option configures New.
@@ -89,6 +94,28 @@ func WithRetry(attempts int, base, max time.Duration) Option {
 	}
 }
 
+// WithJitterSeed makes the backoff jitter deterministic: two clients with
+// the same seed, retry policy and failure pattern sleep the same sequence of
+// backoffs. The default jitter is seeded from the clock — deterministic
+// jitter across a real fleet would defeat its purpose (de-synchronizing
+// reconnect storms); the option exists for tests and reproducible chaos
+// schedules.
+func WithJitterSeed(seed int64) Option {
+	return func(c *Client) { c.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// WithSleeper swaps how the retry loops wait between attempts. The default
+// sleeps on the real clock, returning early with the context error when ctx
+// dies first. Tests inject an instant (or recording) sleeper so retry
+// behavior is asserted without real wall-clock time passing.
+func WithSleeper(sleep func(ctx context.Context, d time.Duration) error) Option {
+	return func(c *Client) {
+		if sleep != nil {
+			c.sleep = sleep
+		}
+	}
+}
+
 // New builds a client for a server base URL like "http://127.0.0.1:8080".
 func New(baseURL string, opts ...Option) (*Client, error) {
 	u, err := url.Parse(baseURL)
@@ -98,9 +125,12 @@ func New(baseURL string, opts ...Option) (*Client, error) {
 	if u.Scheme == "" || u.Host == "" {
 		return nil, fmt.Errorf("client: base URL %q needs a scheme and host", baseURL)
 	}
-	c := &Client{base: u, http: &http.Client{}, retry: defaultRetry}
+	c := &Client{base: u, http: &http.Client{}, retry: defaultRetry, sleep: sleepCtx}
 	for _, opt := range opts {
 		opt(c)
+	}
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
 	}
 	return c, nil
 }
@@ -163,7 +193,10 @@ func (c *Client) backoff(n int) time.Duration {
 	if d > c.retry.max {
 		d = c.retry.max
 	}
-	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	c.rngMu.Lock()
+	j := c.rng.Int63n(int64(d/2) + 1)
+	c.rngMu.Unlock()
+	return d/2 + time.Duration(j)
 }
 
 // sleepCtx sleeps d or returns early with the context error.
@@ -193,6 +226,9 @@ func apiError(resp *http.Response) error {
 		return fmt.Errorf("%w (%s)", dualvdd.ErrJobNotFound, msg)
 	case http.StatusTooManyRequests:
 		return fmt.Errorf("%w (%s)", dualvdd.ErrQueueFull, msg)
+	case http.StatusRequestTimeout:
+		// The deadline budget died in transit; retrying cannot refill it.
+		return fmt.Errorf("%w (%s)", dualvdd.ErrBudgetExhausted, msg)
 	case http.StatusServiceUnavailable:
 		return transientStatusError{fmt.Errorf("%w (%s)", dualvdd.ErrClosed, msg)}
 	case http.StatusBadGateway, http.StatusGatewayTimeout:
@@ -218,6 +254,16 @@ func (c *Client) doOnce(ctx context.Context, method, url string, body []byte, te
 	if tenant != "" {
 		req.Header.Set(report.TenantHeader, tenant)
 	}
+	// The remaining deadline budget is re-read per attempt, so a submission
+	// that burned time in retries forwards only what is left — the budget
+	// shrinks across hops and retries alike. An already-spent budget fails
+	// fast with the same sentinel the server would answer with.
+	if budget, ok := dualvdd.JobBudget(ctx); ok {
+		if budget <= 0 {
+			return fmt.Errorf("%w (spent before the request left)", dualvdd.ErrBudgetExhausted)
+		}
+		req.Header.Set(report.BudgetHeader, strconv.FormatInt(budget.Milliseconds(), 10))
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return err
@@ -242,7 +288,7 @@ func (c *Client) doJSON(ctx context.Context, method, url string, body []byte, te
 		if err == nil || attempt+1 >= c.retry.attempts || !transientError(err) {
 			return err
 		}
-		if sleepCtx(ctx, c.backoff(attempt)) != nil {
+		if c.sleep(ctx, c.backoff(attempt)) != nil {
 			return err
 		}
 	}
@@ -327,7 +373,7 @@ func (c *Client) openEvents(ctx context.Context, id dualvdd.JobID, lastSeen int)
 		if attempt+1 >= c.retry.attempts || !transientError(err) {
 			return nil, err
 		}
-		if sleepCtx(ctx, c.backoff(attempt)) != nil {
+		if c.sleep(ctx, c.backoff(attempt)) != nil {
 			return nil, err
 		}
 	}
@@ -426,7 +472,7 @@ func (c *Client) Watch(ctx context.Context, id dualvdd.JobID) (<-chan dualvdd.Ev
 			if failures >= c.retry.attempts {
 				return
 			}
-			if sleepCtx(ctx, c.backoff(failures-1)) != nil {
+			if c.sleep(ctx, c.backoff(failures-1)) != nil {
 				return
 			}
 			next, err := c.openEvents(ctx, id, lastSeen)

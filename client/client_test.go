@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -14,9 +15,19 @@ import (
 	"dualvdd/client"
 )
 
-// fastRetry keeps the backoff sleeps out of the test clock.
-func fastRetry(attempts int) client.Option {
-	return client.WithRetry(attempts, time.Millisecond, 4*time.Millisecond)
+// instantSleeper skips retry backoffs entirely (still honoring a dead
+// context), so no test below waits out real wall-clock sleeps.
+func instantSleeper(ctx context.Context, d time.Duration) error { return ctx.Err() }
+
+// fastRetry is the deterministic test retry policy: the production backoff
+// schedule with a seeded jitter and an instant sleeper. Tests assert on call
+// counts, not on elapsed time.
+func fastRetry(attempts int) []client.Option {
+	return []client.Option{
+		client.WithRetry(attempts, 100*time.Millisecond, 2*time.Second),
+		client.WithJitterSeed(1),
+		client.WithSleeper(instantSleeper),
+	}
 }
 
 // testJob is a minimal valid submission.
@@ -45,7 +56,7 @@ func TestRetryAbsorbsFlakyServer(t *testing.T) {
 		}))
 		defer ts.Close()
 
-		c, err := client.New(ts.URL, fastRetry(4))
+		c, err := client.New(ts.URL, fastRetry(4)...)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -82,7 +93,7 @@ func TestRetryAbsorbsDroppedConnections(t *testing.T) {
 	}))
 	defer ts.Close()
 
-	c, err := client.New(ts.URL, fastRetry(4))
+	c, err := client.New(ts.URL, fastRetry(4)...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +109,7 @@ func TestRetryAbsorbsDroppedConnections(t *testing.T) {
 	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
 	deadURL := dead.URL
 	dead.Close()
-	c2, err := client.New(deadURL, fastRetry(3))
+	c2, err := client.New(deadURL, fastRetry(3)...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,8 +118,8 @@ func TestRetryAbsorbsDroppedConnections(t *testing.T) {
 	}
 }
 
-// TestNoRetryOnPermanentErrors pins the other half of the policy: 404 and
-// 429 mean what they say and are returned on the first attempt, still
+// TestNoRetryOnPermanentErrors pins the other half of the policy: 404, 429
+// and 408 mean what they say and are returned on the first attempt, still
 // mapped onto the Runner sentinels.
 func TestNoRetryOnPermanentErrors(t *testing.T) {
 	cases := []struct {
@@ -117,6 +128,7 @@ func TestNoRetryOnPermanentErrors(t *testing.T) {
 	}{
 		{http.StatusNotFound, dualvdd.ErrJobNotFound},
 		{http.StatusTooManyRequests, dualvdd.ErrQueueFull},
+		{http.StatusRequestTimeout, dualvdd.ErrBudgetExhausted},
 	}
 	for _, tc := range cases {
 		var calls atomic.Int64
@@ -125,7 +137,7 @@ func TestNoRetryOnPermanentErrors(t *testing.T) {
 			http.Error(w, "nope", tc.status)
 		}))
 		defer ts.Close()
-		c, err := client.New(ts.URL, fastRetry(4))
+		c, err := client.New(ts.URL, fastRetry(4)...)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -148,7 +160,7 @@ func TestRetryExhaustionKeepsSentinel(t *testing.T) {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 	}))
 	defer ts.Close()
-	c, err := client.New(ts.URL, fastRetry(3))
+	c, err := client.New(ts.URL, fastRetry(3)...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,25 +174,85 @@ func TestRetryExhaustionKeepsSentinel(t *testing.T) {
 
 // TestRetryHonorsContext cancels the context while the client is inside a
 // backoff sleep: the call must return promptly instead of finishing the
-// retry schedule.
+// retry schedule. The injected sleeper parks on the context exactly like the
+// real one, without the real one's wall-clock risk.
 func TestRetryHonorsContext(t *testing.T) {
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "flaky", http.StatusServiceUnavailable)
 	}))
 	defer ts.Close()
-	// Seconds-long backoff so the context expires mid-sleep.
-	c, err := client.New(ts.URL, client.WithRetry(5, 2*time.Second, 8*time.Second))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sleeping := make(chan struct{}, 16)
+	c, err := client.New(ts.URL,
+		client.WithRetry(5, 2*time.Second, 8*time.Second),
+		client.WithJitterSeed(1),
+		client.WithSleeper(func(ctx context.Context, d time.Duration) error {
+			sleeping <- struct{}{}
+			<-ctx.Done() // a full-length sleep never outruns the caller
+			return ctx.Err()
+		}))
 	if err != nil {
 		t.Fatal(err)
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
-	defer cancel()
-	start := time.Now()
-	if err := c.Health(ctx); err == nil {
-		t.Fatal("health succeeded against a permanently flaky server")
+	done := make(chan error, 1)
+	go func() { done <- c.Health(ctx) }()
+	<-sleeping // the first backoff is underway
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("health succeeded against a permanently flaky server")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled call never returned")
 	}
-	if d := time.Since(start); d > time.Second {
-		t.Fatalf("cancelled call took %v, want prompt return", d)
+}
+
+// TestBackoffDeterministicWithSeed pins the jitter seam: two clients with
+// the same seed sleep the identical backoff sequence against the identical
+// failure pattern, every delay inside the [d/2, d] jitter envelope of the
+// capped exponential schedule.
+func TestBackoffDeterministicWithSeed(t *testing.T) {
+	run := func(seed int64) []time.Duration {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			http.Error(w, "flaky", http.StatusServiceUnavailable)
+		}))
+		defer ts.Close()
+		var mu sync.Mutex
+		var slept []time.Duration
+		c, err := client.New(ts.URL,
+			client.WithRetry(5, 100*time.Millisecond, 2*time.Second),
+			client.WithJitterSeed(seed),
+			client.WithSleeper(func(ctx context.Context, d time.Duration) error {
+				mu.Lock()
+				slept = append(slept, d)
+				mu.Unlock()
+				return ctx.Err()
+			}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Health(context.Background()); err == nil {
+			t.Fatal("health succeeded against a permanently flaky server")
+		}
+		return slept
+	}
+	a, b := run(42), run(42)
+	if len(a) != 4 || len(b) != 4 {
+		t.Fatalf("5 attempts slept %d and %d backoffs, want 4 each", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at backoff %d: %v != %v", i, a, b)
+		}
+		full := 100 * time.Millisecond << i
+		if full > 2*time.Second {
+			full = 2 * time.Second
+		}
+		if a[i] < full/2 || a[i] > full {
+			t.Fatalf("backoff %d = %v outside jitter envelope [%v, %v]", i, a[i], full/2, full)
+		}
 	}
 }
 
@@ -226,7 +298,7 @@ func TestWatchReconnectsWithLastEventID(t *testing.T) {
 	}))
 	defer ts.Close()
 
-	c, err := client.New(ts.URL, fastRetry(4))
+	c, err := client.New(ts.URL, fastRetry(4)...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,7 +337,7 @@ func TestWatchEndsCleanlyWithoutReconnect(t *testing.T) {
 		fmt.Fprint(w, "event: end\ndata: {}\n\n")
 	}))
 	defer ts.Close()
-	c, err := client.New(ts.URL, fastRetry(4))
+	c, err := client.New(ts.URL, fastRetry(4)...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -293,7 +365,7 @@ func TestWatchGivesUpAfterRetryBudget(t *testing.T) {
 		// Headers only; the stream dies with neither events nor end frame.
 	}))
 	defer ts.Close()
-	c, err := client.New(ts.URL, fastRetry(3))
+	c, err := client.New(ts.URL, fastRetry(3)...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -319,5 +391,49 @@ func TestWatchGivesUpAfterRetryBudget(t *testing.T) {
 	}
 	if got := conns.Load(); got < 2 || got > 3 {
 		t.Fatalf("server saw %d connections, want a bounded handful (2-3)", got)
+	}
+}
+
+// TestSubmitForwardsShrinkingBudget pins the budget wire contract: a
+// WithJobBudget submission carries X-Dualvdd-Budget-Ms, the value shrinks
+// across retry attempts as wall clock burns, and a spent budget fails fast
+// with ErrBudgetExhausted before a request leaves.
+func TestSubmitForwardsShrinkingBudget(t *testing.T) {
+	var mu sync.Mutex
+	var budgets []string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		budgets = append(budgets, r.Header.Get("X-Dualvdd-Budget-Ms"))
+		n := len(budgets)
+		mu.Unlock()
+		if n == 1 {
+			http.Error(w, "flaky", http.StatusBadGateway)
+			return
+		}
+		submitBody(w)
+	}))
+	defer ts.Close()
+	c, err := client.New(ts.URL,
+		client.WithRetry(3, time.Millisecond, time.Millisecond),
+		client.WithJitterSeed(1)) // real (tiny) sleeps: the budget must shrink
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := dualvdd.WithJobBudget(context.Background(), time.Minute)
+	if _, err := c.Submit(ctx, testJob()); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(budgets) != 2 || budgets[0] == "" || budgets[1] == "" {
+		t.Fatalf("budget header missing across attempts: %q", budgets)
+	}
+	if budgets[1] > budgets[0] { // same width (both ~60000), string compare suffices
+		t.Fatalf("budget grew across retries: %q then %q", budgets[0], budgets[1])
+	}
+
+	spent := dualvdd.WithJobBudget(context.Background(), -time.Second)
+	if _, err := c.Submit(spent, testJob()); !errors.Is(err, dualvdd.ErrBudgetExhausted) {
+		t.Fatalf("spent budget returned %v, want ErrBudgetExhausted", err)
 	}
 }

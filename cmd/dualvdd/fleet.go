@@ -34,16 +34,43 @@ func (w *workerList) Set(s string) error {
 // dir/cas and the job journal at dir/jobs.log. Both subcommands that take a
 // -store flag wire the same layout, so a `dualvdd fleet` can be pointed at a
 // directory a `dualvdd serve` wrote, and vice versa.
-func openStores(dir string, cacheEntries int) (*store.CAS, *store.Journal) {
-	cas, err := store.OpenCAS(filepath.Join(dir, "cas"), store.CASMaxEntries(cacheEntries))
+//
+// durability picks the fsync policy of both stores:
+//
+//	none      appends land in the page cache; a machine crash may lose the tail
+//	interval  the journal fsyncs every 16 records (the default)
+//	commit    every journal record and every CAS entry is fsynced before ack
+//
+// The CAS is wrapped in a DegradingCache: if the disk starts failing
+// persistently the service trips to a bounded in-memory cache (visible as
+// the store_degraded metric) instead of going down with it.
+func openStores(dir string, cacheEntries int, durability string) (dualvdd.ResultCache, *store.Journal) {
+	casOpts := []store.CASOption{store.CASMaxEntries(cacheEntries)}
+	journalOpts := []store.JournalOption{}
+	switch durability {
+	case "none":
+		journalOpts = append(journalOpts, store.JournalSyncEvery(0))
+	case "interval":
+		journalOpts = append(journalOpts, store.JournalSyncEvery(16))
+	case "commit":
+		journalOpts = append(journalOpts, store.JournalSyncEvery(1))
+		casOpts = append(casOpts, store.CASSync())
+	default:
+		fatal(fmt.Errorf("unknown -durability %q (none|interval|commit)", durability))
+	}
+	cas, err := store.OpenCAS(filepath.Join(dir, "cas"), casOpts...)
 	if err != nil {
 		fatal(err)
 	}
-	journal, err := store.OpenJournal(filepath.Join(dir, "jobs.log"))
+	journal, err := store.OpenJournal(filepath.Join(dir, "jobs.log"), journalOpts...)
 	if err != nil {
 		fatal(err)
 	}
-	return cas, journal
+	fallback := cacheEntries
+	if fallback <= 0 {
+		fallback = 256 // the disk CAS may be unbounded; the memory fallback never is
+	}
+	return dualvdd.NewDegradingCache(cas, fallback, 3), journal
 }
 
 // runFleet is the `dualvdd fleet` subcommand: a sharding coordinator over N
@@ -58,11 +85,14 @@ func runFleet(args []string) {
 	var workers workerList
 	fs.Var(&workers, "worker", "worker base URL (repeatable, or comma-separated)")
 	storeDir := fs.String("store", "", "durable state directory (disk result CAS + job journal); empty keeps everything in memory")
+	durability := fs.String("durability", "interval", "fsync policy for -store: none|interval|commit")
 	cacheEntries := fs.Int("cache-entries", 256, "content-addressed result cache size (0 means unbounded on disk)")
 	vnodes := fs.Int("vnodes", 64, "virtual nodes per worker on the hash ring")
 	healthInterval := fs.Duration("health-interval", 2*time.Second, "worker health probe period")
 	healthTimeout := fs.Duration("health-timeout", time.Second, "per-probe timeout")
 	deadAfter := fs.Int("dead-after", 2, "consecutive probe failures before a worker is marked dead")
+	redispatchBudget := fs.Int("redispatch-budget", 3, "dispatch attempts that may kill their worker before a job is quarantined as poison")
+	dispatchPatience := fs.Duration("dispatch-patience", 30*time.Second, "how long a job waits for any live worker before failing undeliverable")
 	tenantRate := fs.Float64("tenant-rate", 0, "per-tenant admission rate in jobs/sec (0 disables rate limiting)")
 	tenantBurst := fs.Int("tenant-burst", 1, "per-tenant admission burst")
 	tenantQuota := fs.Int("tenant-quota", 0, "per-tenant in-flight job quota (0 disables)")
@@ -79,11 +109,13 @@ func runFleet(args []string) {
 		fleet.WithHealth(*healthInterval, *healthTimeout, *deadAfter),
 		fleet.WithTenantRate(*tenantRate, *tenantBurst),
 		fleet.WithTenantQuota(*tenantQuota),
+		fleet.WithRedispatchBudget(*redispatchBudget),
+		fleet.WithDispatchPatience(*dispatchPatience),
 	}
 	if *storeDir != "" {
-		cas, journal := openStores(*storeDir, *cacheEntries)
+		cache, journal := openStores(*storeDir, *cacheEntries, *durability)
 		defer journal.Close()
-		fopts = append(fopts, fleet.WithResultCache(cas), fleet.WithJobStore(journal))
+		fopts = append(fopts, fleet.WithResultCache(cache), fleet.WithJobStore(journal))
 	} else {
 		fopts = append(fopts, fleet.WithResultCache(dualvdd.NewMemoryCache(*cacheEntries)))
 	}

@@ -27,6 +27,7 @@ func runServe(args []string) {
 	queueDepth := fs.Int("queue-depth", 64, "bounded job queue depth (a full queue rejects submissions with 429)")
 	cacheEntries := fs.Int("cache-entries", 256, "content-addressed result cache size (0 disables)")
 	storeDir := fs.String("store", "", "durable state directory (disk result CAS + job journal); empty keeps everything in memory")
+	durability := fs.String("durability", "interval", "fsync policy for -store: none|interval|commit")
 	requestTimeout := fs.Duration("request-timeout", time.Minute, "how long a ?wait=1 status poll may block")
 	drainTimeout := fs.Duration("drain-timeout", time.Minute, "shutdown grace; jobs still running after this are cancelled")
 	fs.Parse(args)
@@ -37,9 +38,9 @@ func runServe(args []string) {
 		dualvdd.LocalCacheEntries(*cacheEntries),
 	}
 	if *storeDir != "" {
-		cas, journal := openStores(*storeDir, *cacheEntries)
+		cache, journal := openStores(*storeDir, *cacheEntries, *durability)
 		defer journal.Close()
-		lopts = append(lopts, dualvdd.LocalResultCache(cas), dualvdd.LocalJobStore(journal))
+		lopts = append(lopts, dualvdd.LocalResultCache(cache), dualvdd.LocalJobStore(journal))
 	}
 	local := dualvdd.NewLocal(lopts...)
 	api := server.New(local, server.WithRequestTimeout(*requestTimeout))

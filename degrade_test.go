@@ -1,0 +1,139 @@
+package dualvdd
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// flakyCache is a FallibleCache whose failure switches flip per operation
+// class — the test double for a dying or full disk.
+type flakyCache struct {
+	*MemoryCache
+	failGets bool
+	failPuts bool
+}
+
+var errFlaky = errors.New("flaky backend")
+
+func (f *flakyCache) GetErr(key string) (*CachedResult, bool, error) {
+	if f.failGets {
+		return nil, false, errFlaky
+	}
+	res, ok := f.MemoryCache.Get(key)
+	return res, ok, nil
+}
+
+func (f *flakyCache) PutErr(res *CachedResult) error {
+	if f.failPuts {
+		return errFlaky
+	}
+	f.MemoryCache.Put(res)
+	return nil
+}
+
+func degradeEntry(i int) *CachedResult {
+	return &CachedResult{
+		Key:     fmt.Sprintf("key-%d", i),
+		Design:  &DesignInfo{Name: fmt.Sprintf("c%d", i), Gates: i},
+		Results: []*FlowResult{{Algorithm: "CVS", Power: float64(i)}},
+	}
+}
+
+// TestDegradingCacheTripsOnWriteFailuresAlone is the ENOSPC regression: a
+// primary whose reads keep succeeding while every write fails must still
+// degrade — read successes must not forgive the write-failure streak.
+func TestDegradingCacheTripsOnWriteFailuresAlone(t *testing.T) {
+	primary := &flakyCache{MemoryCache: NewMemoryCache(16), failPuts: true}
+	d := NewDegradingCache(primary, 16, 3)
+	for i := 0; i < 3; i++ {
+		// A healthy read between every failed write.
+		d.Get(fmt.Sprintf("key-%d", i))
+		d.Put(degradeEntry(i))
+	}
+	if !d.Degraded() {
+		t.Fatalf("write-only failure streak did not trip degrade (errors %d)", d.Errors())
+	}
+	// Every failed write landed in the fallback: nothing is lost.
+	for i := 0; i < 3; i++ {
+		if _, ok := d.Get(fmt.Sprintf("key-%d", i)); !ok {
+			t.Fatalf("entry %d written during the failure window is gone", i)
+		}
+	}
+}
+
+// TestDegradingCacheTripsOnReadFailures: the same threshold applies to the
+// read class, and below-threshold flakiness does not trip.
+func TestDegradingCacheTripsOnReadFailures(t *testing.T) {
+	primary := &flakyCache{MemoryCache: NewMemoryCache(16)}
+	d := NewDegradingCache(primary, 16, 3)
+
+	primary.failGets = true
+	d.Get("a")
+	d.Get("b")
+	primary.failGets = false
+	d.Get("c") // success resets the read streak
+	primary.failGets = true
+	d.Get("d")
+	d.Get("e")
+	if d.Degraded() {
+		t.Fatal("interrupted failure streak tripped degrade")
+	}
+	d.Get("f")
+	if !d.Degraded() {
+		t.Fatal("three consecutive read failures did not trip degrade")
+	}
+	if d.Errors() != 5 {
+		t.Fatalf("Errors = %d, want 5", d.Errors())
+	}
+}
+
+// TestDegradingCacheRecovers: a degraded cache probes the primary on the put
+// cadence and recovers when it heals; entries from the degraded window stay
+// findable afterwards because a primary miss falls through to the fallback.
+func TestDegradingCacheRecovers(t *testing.T) {
+	primary := &flakyCache{MemoryCache: NewMemoryCache(16), failPuts: true}
+	d := NewDegradingCache(primary, 16, 2)
+	d.Put(degradeEntry(0))
+	d.Put(degradeEntry(1))
+	if !d.Degraded() {
+		t.Fatal("not degraded after threshold write failures")
+	}
+
+	// Heal the primary; the degradeProbeEvery-th degraded put probes it.
+	primary.failPuts = false
+	for i := 2; i < 2+degradeProbeEvery; i++ {
+		d.Put(degradeEntry(i))
+	}
+	if d.Degraded() {
+		t.Fatal("healed primary never recovered the cache")
+	}
+
+	// Degraded-window entries live in the fallback; a healthy-mode Get must
+	// still find them through the primary-miss fallthrough.
+	if _, ok := d.Get("key-1"); !ok {
+		t.Fatal("degraded-window entry invisible after recovery")
+	}
+	// New writes land on the healed primary.
+	d.Put(degradeEntry(99))
+	if _, ok, err := primary.GetErr("key-99"); err != nil || !ok {
+		t.Fatal("post-recovery write missed the primary")
+	}
+}
+
+// TestDegradingCacheServesPrimaryWhileHealthy: no failures, no fallback —
+// the wrapper is transparent.
+func TestDegradingCacheServesPrimaryWhileHealthy(t *testing.T) {
+	primary := &flakyCache{MemoryCache: NewMemoryCache(16)}
+	d := NewDegradingCache(primary, 16, 3)
+	d.Put(degradeEntry(1))
+	if got, ok := d.Get("key-1"); !ok || got.Design.Gates != 1 {
+		t.Fatal("healthy round trip failed")
+	}
+	if d.Degraded() || d.Errors() != 0 {
+		t.Fatalf("healthy cache reports degraded=%v errors=%d", d.Degraded(), d.Errors())
+	}
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (primary serving)", d.Len())
+	}
+}

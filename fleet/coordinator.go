@@ -19,6 +19,12 @@ type WorkerClient interface {
 	Health(ctx context.Context) error
 }
 
+// ErrJobPoisoned reports a job quarantined by the coordinator: every
+// dispatch attempt within its re-dispatch budget took its worker down, so
+// the job is treated as poison and failed instead of being re-dispatched
+// forever. The job's terminal status carries this message.
+var ErrJobPoisoned = errors.New("fleet: job poisoned: every worker it touched died")
+
 // Option configures New.
 type Option func(*Coordinator)
 
@@ -70,6 +76,44 @@ func WithHealth(interval, timeout time.Duration, deadAfter int) Option {
 	}
 }
 
+// WithRedispatchBudget caps how many dispatch attempts one job may burn
+// before it is quarantined as poison (default 3): a job whose submission
+// takes down worker after worker is failed with ErrJobPoisoned instead of
+// marching through the fleet killing everything. Legitimate re-dispatch — a
+// worker dying under unrelated load — stays well inside the budget.
+func WithRedispatchBudget(n int) Option {
+	return func(co *Coordinator) {
+		if n > 0 {
+			co.redispatchBudget = n
+		}
+	}
+}
+
+// WithDispatchPatience bounds how long a job waits for a live worker when
+// none is currently eligible (default 30s). Within the window the driver
+// polls for recovery — a healed partition or a restarted worker picks the
+// job back up — and only past it is the job failed undeliverable. Zero
+// patience fails immediately, the pre-hardening behavior.
+func WithDispatchPatience(d time.Duration) Option {
+	return func(co *Coordinator) {
+		if d >= 0 {
+			co.patience = d
+		}
+	}
+}
+
+// WithHopBudget sets the per-hop overhead reserved when forwarding a job's
+// end-to-end deadline budget to a worker (default 50ms): the worker is given
+// the remaining budget minus this reserve, so the coordinator keeps enough
+// headroom to collect the result before its own deadline fires.
+func WithHopBudget(d time.Duration) Option {
+	return func(co *Coordinator) {
+		if d >= 0 {
+			co.hopBudget = d
+		}
+	}
+}
+
 // WithTenantQuota bounds each tenant's concurrently in-flight jobs;
 // 0 (default) disables the quota.
 func WithTenantQuota(inFlight int) Option {
@@ -101,23 +145,52 @@ func WithDialer(dial func(url string) (WorkerClient, error)) Option {
 	}
 }
 
-// workerState is one registered worker.
+// breakerState is a worker's circuit-breaker position. Closed passes
+// traffic; open passes none; half-open passes one trial job to confirm a
+// probe-signaled recovery before the breaker closes for real.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// workerState is one registered worker with its circuit breaker. The breaker
+// opens on deadAfter consecutive probe failures or any in-band failure (a
+// driver's request died on the worker); a later probe success moves it to
+// half-open, where one trial job — or the next clean probe — closes it.
 type workerState struct {
 	name   string
 	runner WorkerClient
-	alive  bool
-	fails  int // consecutive health-probe failures
+	state  breakerState
+	trial  bool // a half-open trial job is in flight
+	fails  int  // consecutive health-probe failures
+}
+
+// eligible reports whether the breaker passes new work right now.
+func (w *workerState) eligible() bool {
+	switch w.state {
+	case breakerClosed:
+		return true
+	case breakerHalfOpen:
+		return !w.trial
+	default:
+		return false
+	}
 }
 
 // fleetJob is one accepted submission: spec, lifecycle, the relayed event
 // log, and the per-job context Cancel fires. It mirrors Local's job record
 // so the Runner semantics match exactly.
 type fleetJob struct {
-	spec   dualvdd.Job
-	key    string
-	group  string
-	tenant string
-	seq    int64
+	spec     dualvdd.Job
+	key      string
+	group    string
+	tenant   string
+	seq      int64
+	budgeted bool // a WithJobBudget deadline bounds j.ctx
+	attempts int  // dispatch attempts that killed their worker; driver-owned
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -135,15 +208,18 @@ type fleetJob struct {
 // puts the standard HTTP surface in front of a whole fleet and Sweep.Run
 // drives it like any other runner.
 type Coordinator struct {
-	vnodes         int
-	healthInterval time.Duration
-	healthTimeout  time.Duration
-	deadAfter      int
-	history        int
-	quota          int
-	rate, burst    float64
-	now            func() time.Time
-	dial           func(url string) (WorkerClient, error)
+	vnodes           int
+	healthInterval   time.Duration
+	healthTimeout    time.Duration
+	deadAfter        int
+	history          int
+	quota            int
+	rate, burst      float64
+	redispatchBudget int
+	patience         time.Duration
+	hopBudget        time.Duration
+	now              func() time.Time
+	dial             func(url string) (WorkerClient, error)
 
 	cache     dualvdd.ResultCache
 	journal   dualvdd.JobStore
@@ -172,14 +248,17 @@ func New(workerURLs []string, opts ...Option) (*Coordinator, error) {
 		return nil, errors.New("fleet: at least one worker required")
 	}
 	c := &Coordinator{
-		vnodes:         64,
-		healthInterval: 2 * time.Second,
-		healthTimeout:  time.Second,
-		deadAfter:      2,
-		history:        1024,
-		jobs:           make(map[dualvdd.JobID]*fleetJob),
-		workers:        make(map[string]*workerState),
-		stop:           make(chan struct{}),
+		vnodes:           64,
+		healthInterval:   2 * time.Second,
+		healthTimeout:    time.Second,
+		deadAfter:        2,
+		history:          1024,
+		redispatchBudget: 3,
+		patience:         30 * time.Second,
+		hopBudget:        50 * time.Millisecond,
+		jobs:             make(map[dualvdd.JobID]*fleetJob),
+		workers:          make(map[string]*workerState),
+		stop:             make(chan struct{}),
 	}
 	c.dial = func(url string) (WorkerClient, error) {
 		return client.New(url, client.WithRetry(3, 100*time.Millisecond, time.Second))
@@ -200,7 +279,7 @@ func New(workerURLs []string, opts ...Option) (*Coordinator, error) {
 		if _, dup := c.workers[u]; dup {
 			return nil, fmt.Errorf("fleet: worker %s registered twice", u)
 		}
-		c.workers[u] = &workerState{name: u, runner: w, alive: true}
+		c.workers[u] = &workerState{name: u, runner: w, state: breakerClosed}
 		c.ring.add(u)
 	}
 	if c.journal != nil {
@@ -214,11 +293,13 @@ func New(workerURLs []string, opts ...Option) (*Coordinator, error) {
 var _ dualvdd.Runner = (*Coordinator)(nil)
 var _ dualvdd.MetricsProvider = (*Coordinator)(nil)
 
-// healthLoop probes every worker each interval, marking a worker dead after
-// deadAfter consecutive failures and live again on the next success. Dead
-// workers keep their ring points — the ring is stable — but pick skips
-// them, so their arcs fall through to the next live worker and fall back
-// when they recover.
+// healthLoop probes every worker each interval, driving its circuit
+// breaker: deadAfter consecutive probe failures open it, a probe success on
+// an open breaker moves it to half-open (one trial job allowed), and a
+// further clean probe — or the trial job finishing — closes it. Workers with
+// non-closed breakers keep their ring points — the ring is stable — but pick
+// skips them, so their arcs fall through to the next eligible worker and
+// fall back as they recover.
 func (c *Coordinator) healthLoop() {
 	defer c.wg.Done()
 	t := time.NewTicker(c.healthInterval)
@@ -242,31 +323,50 @@ func (c *Coordinator) healthLoop() {
 			c.mu.Lock()
 			if err != nil {
 				w.fails++
-				if w.fails >= c.deadAfter {
-					w.alive = false
+				if w.state == breakerHalfOpen || w.fails >= c.deadAfter {
+					w.state = breakerOpen
+					w.trial = false
 				}
 			} else {
 				w.fails = 0
-				w.alive = true
+				switch w.state {
+				case breakerOpen:
+					// The probe says the process answers again; let one
+					// trial job (or the next clean probe) prove it under
+					// real traffic before trusting it with the arc.
+					w.state = breakerHalfOpen
+					w.trial = false
+				case breakerHalfOpen:
+					if !w.trial {
+						w.state = breakerClosed
+					}
+				}
 			}
 			c.mu.Unlock()
 		}
 	}
 }
 
-// markDead records a worker failure observed in-band (a driver's request
-// died), without waiting for the health loop to notice.
-func (c *Coordinator) markDead(name string) {
+// reportWorker settles a dispatch outcome into the worker's breaker: a
+// served interaction closes it (completing any half-open trial), an in-band
+// worker failure (a driver's request died) opens it without waiting for the
+// health loop to notice.
+func (c *Coordinator) reportWorker(w *workerState, ok bool) {
 	c.mu.Lock()
-	if w := c.workers[name]; w != nil {
+	if ok {
+		w.fails = 0
+		w.trial = false
+		w.state = breakerClosed
+	} else {
 		w.fails = c.deadAfter
-		w.alive = false
+		w.trial = false
+		w.state = breakerOpen
 	}
 	c.mu.Unlock()
 }
 
-// pickWorker places a group key on a live, untried worker; nil when none
-// remain.
+// pickWorker places a group key on an eligible, untried worker; nil when
+// none remain. Picking a half-open worker claims its trial slot.
 func (c *Coordinator) pickWorker(group string, tried map[string]bool) *workerState {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -275,7 +375,7 @@ func (c *Coordinator) pickWorker(group string, tried map[string]bool) *workerSta
 		skip[name] = true
 	}
 	for name, w := range c.workers {
-		if !w.alive {
+		if !w.eligible() {
 			skip[name] = true
 		}
 	}
@@ -283,7 +383,11 @@ func (c *Coordinator) pickWorker(group string, tried map[string]bool) *workerSta
 	if name == "" {
 		return nil
 	}
-	return c.workers[name]
+	w := c.workers[name]
+	if w.state == breakerHalfOpen {
+		w.trial = true
+	}
+	return w
 }
 
 // Submit admits, then answers from the cache or dispatches to the group's
@@ -291,6 +395,13 @@ func (c *Coordinator) pickWorker(group string, tried map[string]bool) *workerSta
 func (c *Coordinator) Submit(ctx context.Context, job dualvdd.Job) (dualvdd.JobID, error) {
 	if err := ctx.Err(); err != nil {
 		return "", err
+	}
+	budget, hasBudget := dualvdd.JobBudget(ctx)
+	if hasBudget && budget <= 0 {
+		c.mu.Lock()
+		c.metrics.BudgetRejects++
+		c.mu.Unlock()
+		return "", dualvdd.ErrBudgetExhausted
 	}
 	key, err := job.Key() // validates
 	if err != nil {
@@ -320,17 +431,31 @@ func (c *Coordinator) Submit(ctx context.Context, job dualvdd.Job) (dualvdd.JobI
 		return "", err
 	}
 
-	jctx, jcancel := context.WithCancel(context.Background())
+	// Like Local, the per-job context is detached from the Submit ctx but
+	// bounded by the remaining end-to-end budget when one is set.
+	var jctx context.Context
+	var jcancel context.CancelFunc
+	if hasBudget {
+		jctx, jcancel = context.WithTimeout(context.Background(), budget)
+	} else {
+		jctx, jcancel = context.WithCancel(context.Background())
+	}
 	j := &fleetJob{
-		spec: job, key: key, group: group, tenant: tenant,
+		spec: job, key: key, group: group, tenant: tenant, budgeted: hasBudget,
 		ctx: jctx, cancel: jcancel,
 		update: make(chan struct{}),
 		done:   make(chan struct{}),
 	}
 
 	// The cache lookup happens outside c.mu: a disk CAS does I/O and the
-	// interface carries its own synchronization.
-	entry, _ := c.cache.Get(key)
+	// interface carries its own synchronization. Backend read errors count on
+	// StoreErrors instead of vanishing into the miss count.
+	entry, _, cacheErr := dualvdd.CacheGet(c.cache, key)
+	if cacheErr != nil {
+		c.mu.Lock()
+		c.metrics.StoreErrors++
+		c.mu.Unlock()
+	}
 
 	c.mu.Lock()
 	if c.closed {
@@ -386,37 +511,75 @@ func (j *fleetJob) completeFromCache(entry *dualvdd.CachedResult) {
 }
 
 // drive owns one job end to end: dispatch to the ring-chosen worker, relay
-// its event stream, collect the result; when a worker dies mid-job, mark it
-// dead and re-dispatch to the next live worker on the arc. The job fails
-// only when every live worker has been tried.
+// its event stream, collect the result; when a worker dies mid-job, open its
+// breaker and re-dispatch to the next eligible worker on the arc. Two bounds
+// keep the loop finite: the re-dispatch budget quarantines a job whose every
+// dispatch kills its worker (poison), and the dispatch patience bounds how
+// long a job waits for any worker to become eligible before it is failed
+// undeliverable — within the window a healed partition or a recovered
+// worker picks it back up.
 func (c *Coordinator) drive(j *fleetJob) {
 	defer c.wg.Done()
 	tried := map[string]bool{}
 	lastErr := errors.New("no live workers")
+	var patience time.Time // zero until the first no-worker moment
 	for {
 		if j.ctx.Err() != nil {
 			c.finalize(j, dualvdd.JobCancelled, context.Canceled.Error())
 			return
 		}
-		w := c.pickWorker(j.group, tried)
-		if w == nil {
-			c.finalize(j, dualvdd.JobFailed, fmt.Sprintf("fleet: job undeliverable: %v", lastErr))
+		if j.attempts >= c.redispatchBudget {
+			c.mu.Lock()
+			c.metrics.QuarantinedJobs++
+			c.mu.Unlock()
+			c.finalize(j, dualvdd.JobFailed,
+				fmt.Sprintf("%v (%d attempts, last: %v)", ErrJobPoisoned, j.attempts, lastErr))
 			return
 		}
-		if len(tried) > 0 {
+		w := c.pickWorker(j.group, tried)
+		if w == nil {
+			if patience.IsZero() {
+				patience = time.Now().Add(c.patience)
+			}
+			if !time.Now().Before(patience) {
+				c.finalize(j, dualvdd.JobFailed, fmt.Sprintf("fleet: job undeliverable: %v", lastErr))
+				return
+			}
+			// Wait for a recovery, then rebuild the candidate set: a tried
+			// worker that has since recovered is a fresh candidate (the
+			// attempts budget, not the tried set, is what bounds poison).
+			wait := c.healthInterval / 2
+			if wait < 10*time.Millisecond {
+				wait = 10 * time.Millisecond
+			}
+			select {
+			case <-j.ctx.Done():
+			case <-c.stop:
+				c.finalize(j, dualvdd.JobFailed, fmt.Sprintf("fleet: job undeliverable: %v", lastErr))
+				return
+			case <-time.After(wait):
+			}
+			tried = map[string]bool{}
+			continue
+		}
+		patience = time.Time{}
+		if len(tried) > 0 || j.attempts > 0 {
 			c.mu.Lock()
 			c.metrics.Redispatches++
 			c.mu.Unlock()
 		}
 		done, err := c.runOn(w, j)
 		if done {
+			c.reportWorker(w, true)
 			return
 		}
-		// The worker failed us mid-job: remember, mark it dead so new work
-		// avoids it, and try the next worker on the arc.
+		// The worker failed us mid-job: remember, open its breaker so new
+		// work avoids it, count the attempt, and try the next worker on the
+		// arc.
 		lastErr = err
 		tried[w.name] = true
-		c.markDead(w.name)
+		j.attempts++
+		c.reportWorker(w, false)
 	}
 }
 
@@ -427,7 +590,18 @@ func (c *Coordinator) drive(j *fleetJob) {
 func (c *Coordinator) runOn(w *workerState, j *fleetJob) (bool, error) {
 	cancelled := func() bool { return j.ctx.Err() != nil }
 
-	rid, err := w.runner.Submit(j.ctx, j.spec)
+	// Forward the job's remaining end-to-end budget, shrunk by the per-hop
+	// reserve: the worker sees what is left after this hop's overhead, and a
+	// budget that dies in transit is rejected at the worker's admission
+	// instead of computing a result nobody can collect.
+	wctx := j.ctx
+	if j.budgeted {
+		if dl, ok := j.ctx.Deadline(); ok {
+			wctx = dualvdd.WithJobBudget(j.ctx, time.Until(dl)-c.hopBudget)
+		}
+	}
+
+	rid, err := w.runner.Submit(wctx, j.spec)
 	if err != nil {
 		if cancelled() {
 			c.finalize(j, dualvdd.JobCancelled, context.Canceled.Error())
@@ -469,7 +643,11 @@ func (c *Coordinator) runOn(w *workerState, j *fleetJob) (bool, error) {
 
 	switch st.State {
 	case dualvdd.JobDone:
-		c.cache.Put(&dualvdd.CachedResult{Key: j.key, Design: st.Design, Results: st.Results})
+		if err := dualvdd.CachePut(c.cache, &dualvdd.CachedResult{Key: j.key, Design: st.Design, Results: st.Results}); err != nil {
+			c.mu.Lock()
+			c.metrics.StoreErrors++
+			c.mu.Unlock()
+		}
 		j.mu.Lock()
 		j.status.Design = st.Design
 		j.status.Results = st.Results
@@ -749,25 +927,31 @@ func (c *Coordinator) Metrics() dualvdd.Metrics {
 	}
 	m.WorkersLive, m.WorkersDead = 0, 0
 	for _, w := range c.workers {
-		if w.alive {
+		if w.state == breakerClosed {
 			m.WorkersLive++
 		} else {
+			// Half-open counts as dead until its trial closes the breaker:
+			// the gauge answers "how many workers would I trust right now".
 			m.WorkersDead++
 		}
 	}
 	c.mu.Unlock()
 	m.CacheEntries = c.cache.Len()
 	m.CacheBytes = c.cache.Bytes()
+	if d, ok := c.cache.(interface{ Degraded() bool }); ok && d.Degraded() {
+		m.StoreDegraded = 1
+	}
 	return m
 }
 
-// Workers reports the registered worker URLs and their current liveness.
+// Workers reports the registered worker URLs and their current liveness
+// (breaker closed).
 func (c *Coordinator) Workers() map[string]bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := make(map[string]bool, len(c.workers))
 	for name, w := range c.workers {
-		out[name] = w.alive
+		out[name] = w.state == breakerClosed
 	}
 	return out
 }

@@ -407,3 +407,61 @@ func TestFleetCancel(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestFleetBudgetAdmission pins the end-to-end deadline budget at the
+// coordinator's door: a spent budget is rejected with ErrBudgetExhausted
+// before any worker sees it (and lands on BudgetRejects), a generous one
+// rides along without disturbing the job, and a budget too small for the
+// job ends it in a terminal non-done state instead of letting it run
+// forever.
+func TestFleetBudgetAdmission(t *testing.T) {
+	ctx := context.Background()
+	co := newFleet(t, []*testWorker{newWorker(t)})
+
+	spent := dualvdd.WithJobBudget(ctx, -time.Second)
+	if _, err := co.Submit(spent, dualvdd.BenchmarkJob("x2", dualvdd.WithSimWords(32))); !errors.Is(err, dualvdd.ErrBudgetExhausted) {
+		t.Fatalf("spent budget admitted: %v", err)
+	}
+	if co.Metrics().BudgetRejects != 1 {
+		t.Fatalf("BudgetRejects = %d, want 1", co.Metrics().BudgetRejects)
+	}
+
+	generous := dualvdd.WithJobBudget(ctx, time.Minute)
+	id, err := co.Submit(generous, dualvdd.BenchmarkJob("x2", dualvdd.WithSimWords(32)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := co.Result(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != dualvdd.JobDone {
+		t.Fatalf("budgeted job ended %s: %s", st.State, st.Error)
+	}
+
+	// A budget the job cannot meet: the per-job context deadline fires and
+	// the driver lands the job in a terminal, non-done state.
+	tight := dualvdd.WithJobBudget(ctx, 60*time.Millisecond)
+	id, err = co.Submit(tight, dualvdd.BenchmarkJob("des", dualvdd.WithSimWords(4096)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan *dualvdd.JobStatus, 1)
+	go func() {
+		st, err := co.Result(ctx, id)
+		if err != nil {
+			t.Error(err)
+			done <- nil
+			return
+		}
+		done <- st
+	}()
+	select {
+	case st := <-done:
+		if st != nil && st.State == dualvdd.JobDone {
+			t.Fatal("a 60ms budget completed a multi-second job")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("budget-killed job never reached a terminal state")
+	}
+}

@@ -1,0 +1,82 @@
+// Package chaos is the deterministic fault-injection layer of the job
+// service: seeded, scenario-scripted wrappers for every seam the stack
+// already exposes. A chaos run is reproducible — the same seed produces the
+// same fault schedule — so a failure found by the nightly randomized sweep
+// can be replayed in CI with its seed pinned.
+//
+// The injectors wrap the real seams rather than mocking them:
+//
+//   - Cache / Journal wrap dualvdd.ResultCache / dualvdd.JobStore with
+//     injected read/write errors (EIO, ENOSPC) and latency — the disk-backend
+//     failure modes that drive graceful degradation.
+//   - Transport wraps an http.RoundTripper with dropped connections, resets
+//     mid-response, intermediary 5xx, latency, and request-count partition
+//     windows — the network failure modes between a coordinator and its
+//     workers.
+//   - Worker wraps a fleet worker client with injected crashes (the worker
+//     dies taking the job with it), hangs, and poison job keys — the process
+//     failure modes re-dispatch and quarantine exist for.
+//   - TearTail truncates a file mid-record, the on-disk shape of a crash
+//     that interrupted an append.
+//
+// Each injector counts what it actually injected, so a chaos test can assert
+// its schedule fired instead of silently passing on a fault-free run.
+package chaos
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"sync"
+)
+
+// Source is a seeded, concurrency-safe decision stream: every injector draws
+// its rolls from one. Injectors that must not perturb each other's schedules
+// under concurrency take independent streams via Fork.
+type Source struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewSource builds a decision stream from a seed. Equal seeds yield equal
+// decision sequences.
+func NewSource(seed int64) *Source {
+	return &Source{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Roll draws one decision: true with probability p (p <= 0 never, p >= 1
+// always — both without consuming randomness, so disabled faults do not
+// shift the schedule of enabled ones).
+func (s *Source) Roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rng.Float64() < p
+}
+
+// Intn draws a uniform int in [0, n); n <= 1 returns 0 without consuming
+// randomness.
+func (s *Source) Intn(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rng.Intn(n)
+}
+
+// Fork derives an independent stream labeled by name: deterministic in
+// (seed, name), uncorrelated across labels. Give each injector its own fork
+// so concurrent draws in one cannot reorder another's schedule.
+func (s *Source) Fork(name string) *Source {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	s.mu.Lock()
+	base := s.rng.Int63()
+	s.mu.Unlock()
+	return NewSource(base ^ int64(h.Sum64()))
+}

@@ -1,0 +1,175 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"dualvdd"
+)
+
+// Injected store errors. They stand in for the real backend failures a disk
+// store meets: a full disk on write, a dying device on read.
+var (
+	// ErrInjectedWrite is the injected write failure (think ENOSPC).
+	ErrInjectedWrite = errors.New("chaos: injected write failure (ENOSPC)")
+	// ErrInjectedRead is the injected read failure (think EIO).
+	ErrInjectedRead = errors.New("chaos: injected read failure (EIO)")
+)
+
+// StoreFaults configures the store injectors. All probabilities are per
+// operation; zero values inject nothing.
+type StoreFaults struct {
+	// PGetErr fails cache reads with ErrInjectedRead (a miss at the
+	// ResultCache surface, an error at the FallibleCache one).
+	PGetErr float64
+	// PPutErr fails cache writes with ErrInjectedWrite; the entry is lost.
+	PPutErr float64
+	// PAppendErr fails journal appends with ErrInjectedWrite; the record is
+	// lost.
+	PAppendErr float64
+	// Latency is added to an operation with probability PLatency.
+	Latency  time.Duration
+	PLatency float64
+}
+
+// Cache wraps a ResultCache with injected faults. It implements
+// dualvdd.FallibleCache, so a DegradingCache (or a metrics-counting runner)
+// sees the injected errors exactly as it would see a disk backend's.
+type Cache struct {
+	inner dualvdd.ResultCache
+	src   *Source
+	f     StoreFaults
+
+	getErrs atomic.Int64
+	putErrs atomic.Int64
+}
+
+// NewCache wraps inner with the given faults drawn from src.
+func NewCache(inner dualvdd.ResultCache, src *Source, f StoreFaults) *Cache {
+	return &Cache{inner: inner, src: src, f: f}
+}
+
+var _ dualvdd.FallibleCache = (*Cache)(nil)
+
+// sleep injects the configured latency, if any fires.
+func (f StoreFaults) sleep(src *Source) {
+	if f.Latency > 0 && src.Roll(f.PLatency) {
+		time.Sleep(f.Latency)
+	}
+}
+
+// GetErr reads through unless a fault fires.
+func (c *Cache) GetErr(key string) (*dualvdd.CachedResult, bool, error) {
+	c.f.sleep(c.src)
+	if c.src.Roll(c.f.PGetErr) {
+		c.getErrs.Add(1)
+		return nil, false, ErrInjectedRead
+	}
+	if fc, ok := c.inner.(dualvdd.FallibleCache); ok {
+		return fc.GetErr(key)
+	}
+	res, ok := c.inner.Get(key)
+	return res, ok, nil
+}
+
+// PutErr writes through unless a fault fires; a faulted write loses the
+// entry, exactly like a full disk.
+func (c *Cache) PutErr(res *dualvdd.CachedResult) error {
+	c.f.sleep(c.src)
+	if c.src.Roll(c.f.PPutErr) {
+		c.putErrs.Add(1)
+		return ErrInjectedWrite
+	}
+	if fc, ok := c.inner.(dualvdd.FallibleCache); ok {
+		return fc.PutErr(res)
+	}
+	c.inner.Put(res)
+	return nil
+}
+
+// Get is the swallowing ResultCache surface over GetErr.
+func (c *Cache) Get(key string) (*dualvdd.CachedResult, bool) {
+	res, ok, err := c.GetErr(key)
+	if err != nil {
+		return nil, false
+	}
+	return res, ok
+}
+
+// Put is the swallowing ResultCache surface over PutErr.
+func (c *Cache) Put(res *dualvdd.CachedResult) { _ = c.PutErr(res) }
+
+// Len delegates to the wrapped cache.
+func (c *Cache) Len() int { return c.inner.Len() }
+
+// Bytes delegates to the wrapped cache.
+func (c *Cache) Bytes() int64 { return c.inner.Bytes() }
+
+// Close delegates to the wrapped cache.
+func (c *Cache) Close() error { return c.inner.Close() }
+
+// InjectedGetErrors and InjectedPutErrors report how many faults actually
+// fired — chaos tests assert on them so a schedule cannot silently no-op.
+func (c *Cache) InjectedGetErrors() int64 { return c.getErrs.Load() }
+func (c *Cache) InjectedPutErrors() int64 { return c.putErrs.Load() }
+
+// Journal wraps a JobStore with injected append faults.
+type Journal struct {
+	inner dualvdd.JobStore
+	src   *Source
+	f     StoreFaults
+
+	appendErrs atomic.Int64
+}
+
+// NewJournal wraps inner with the given faults drawn from src.
+func NewJournal(inner dualvdd.JobStore, src *Source, f StoreFaults) *Journal {
+	return &Journal{inner: inner, src: src, f: f}
+}
+
+var _ dualvdd.JobStore = (*Journal)(nil)
+
+// Append writes through unless a fault fires; a faulted append loses the
+// record (the caller's StoreErrors metric is how the loss surfaces).
+func (j *Journal) Append(rec dualvdd.JobRecord) error {
+	j.f.sleep(j.src)
+	if j.src.Roll(j.f.PAppendErr) {
+		j.appendErrs.Add(1)
+		return ErrInjectedWrite
+	}
+	return j.inner.Append(rec)
+}
+
+// Replay delegates to the wrapped store.
+func (j *Journal) Replay(fn func(rec dualvdd.JobRecord) error) error {
+	return j.inner.Replay(fn)
+}
+
+// Close delegates to the wrapped store.
+func (j *Journal) Close() error { return j.inner.Close() }
+
+// InjectedAppendErrors reports how many append faults fired.
+func (j *Journal) InjectedAppendErrors() int64 { return j.appendErrs.Load() }
+
+// TearTail truncates the final n bytes of the file at path — the on-disk
+// shape of a crash that interrupted an append mid-record. n larger than the
+// file truncates to empty. It is the injector behind the journal
+// crash-consistency tests: tear the tail, reopen, and every whole record
+// before the tear must replay.
+func TearTail(path string, n int64) error {
+	info, err := os.Stat(path)
+	if err != nil {
+		return fmt.Errorf("chaos: tear tail: %w", err)
+	}
+	size := info.Size() - n
+	if size < 0 {
+		size = 0
+	}
+	if err := os.Truncate(path, size); err != nil {
+		return fmt.Errorf("chaos: tear tail: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// ErrInjectedDrop is the injected connection drop. http.Client wraps it in a
+// *url.Error, which the client retry policy classifies as transient — exactly
+// like a real refused or dropped connection.
+var ErrInjectedDrop = errors.New("chaos: injected connection drop")
+
+// TransportFaults configures the network injector. Zero values inject
+// nothing.
+type TransportFaults struct {
+	// PDrop fails the request before it reaches the wire.
+	PDrop float64
+	// PReset cuts the response body mid-stream with ECONNRESET after a few
+	// bytes — the mid-response peer reset that exercises SSE reconnect.
+	PReset float64
+	// P5xx synthesizes a 502 from an intermediary without calling the inner
+	// transport.
+	P5xx float64
+	// Latency delays the request with probability PLatency (a slow-loris
+	// worker as seen from the coordinator). The delay respects the request
+	// context.
+	Latency  time.Duration
+	PLatency float64
+	// PartitionEvery/PartitionLength script a deterministic partition window
+	// by request count: after every PartitionEvery delivered requests, the
+	// next PartitionLength requests are dropped. Zero PartitionEvery disables
+	// partitioning.
+	PartitionEvery  int
+	PartitionLength int
+}
+
+// Transport wraps an http.RoundTripper with injected network faults.
+type Transport struct {
+	inner http.RoundTripper
+	src   *Source
+	f     TransportFaults
+
+	requests atomic.Int64
+	injected atomic.Int64
+}
+
+// NewTransport wraps inner (nil means http.DefaultTransport) with the given
+// faults drawn from src.
+func NewTransport(inner http.RoundTripper, src *Source, f TransportFaults) *Transport {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &Transport{inner: inner, src: src, f: f}
+}
+
+var _ http.RoundTripper = (*Transport)(nil)
+
+// RoundTrip applies the fault schedule to one request.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	n := t.requests.Add(1)
+	if every := t.f.PartitionEvery; every > 0 {
+		phase := (int(n) - 1) % (every + t.f.PartitionLength)
+		if phase >= every {
+			t.injected.Add(1)
+			return nil, ErrInjectedDrop
+		}
+	}
+	if t.f.Latency > 0 && t.src.Roll(t.f.PLatency) {
+		select {
+		case <-time.After(t.f.Latency):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	if t.src.Roll(t.f.PDrop) {
+		t.injected.Add(1)
+		return nil, ErrInjectedDrop
+	}
+	if t.src.Roll(t.f.P5xx) {
+		t.injected.Add(1)
+		return &http.Response{
+			Status:     "502 Bad Gateway (chaos)",
+			StatusCode: http.StatusBadGateway,
+			Proto:      req.Proto,
+			ProtoMajor: req.ProtoMajor,
+			ProtoMinor: req.ProtoMinor,
+			Header:     http.Header{"Content-Type": []string{"text/plain"}},
+			Body:       io.NopCloser(bytes.NewReader([]byte("chaos: injected 502\n"))),
+			Request:    req,
+		}, nil
+	}
+	resp, err := t.inner.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if t.src.Roll(t.f.PReset) {
+		t.injected.Add(1)
+		resp.Body = &cutReader{inner: resp.Body, remain: 64}
+	}
+	return resp, nil
+}
+
+// Injected reports how many faults actually fired.
+func (t *Transport) Injected() int64 { return t.injected.Load() }
+
+// Requests reports how many requests passed through the injector.
+func (t *Transport) Requests() int64 { return t.requests.Load() }
+
+// cutReader passes through remain bytes, then fails with ECONNRESET — the
+// read-side view of a peer resetting the connection mid-response.
+type cutReader struct {
+	inner  io.ReadCloser
+	remain int
+}
+
+func (c *cutReader) Read(p []byte) (int, error) {
+	if c.remain <= 0 {
+		return 0, syscall.ECONNRESET
+	}
+	if len(p) > c.remain {
+		p = p[:c.remain]
+	}
+	n, err := c.inner.Read(p)
+	c.remain -= n
+	if err == nil && c.remain <= 0 {
+		err = syscall.ECONNRESET
+	}
+	return n, err
+}
+
+func (c *cutReader) Close() error { return c.inner.Close() }

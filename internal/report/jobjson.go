@@ -37,6 +37,14 @@ const (
 	// surface applies per-tenant admission to remote submissions too.
 	TenantHeader = "X-Dualvdd-Tenant"
 
+	// BudgetHeader carries a submission's remaining end-to-end deadline
+	// budget in integer milliseconds. The client sets it per attempt from
+	// dualvdd.JobBudget — re-read each retry, so it shrinks as wall clock
+	// burns — and the server restores it with dualvdd.WithJobBudget before
+	// handing the submission to its runner, which rejects an exhausted budget
+	// with 408.
+	BudgetHeader = "X-Dualvdd-Budget-Ms"
+
 	// EndEventName is the SSE event name of the explicit end-of-stream frame
 	// the server appends once a job's event stream is over because the job
 	// turned terminal. Its presence is how a client distinguishes "stream

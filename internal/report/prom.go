@@ -46,6 +46,10 @@ var promMetrics = []promMetric{
 		func(m dualvdd.Metrics) int64 { return m.CacheBytes }, false},
 	{"dualvdd_store_errors_total", "counter", "Failed writes to the durable stores.",
 		func(m dualvdd.Metrics) int64 { return m.StoreErrors }, false},
+	{"dualvdd_store_degraded", "gauge", "1 while the result cache serves from its in-memory fallback after persistent disk errors.",
+		func(m dualvdd.Metrics) int64 { return int64(m.StoreDegraded) }, true},
+	{"dualvdd_budget_rejects_total", "counter", "Submissions refused at admission with an exhausted deadline budget.",
+		func(m dualvdd.Metrics) int64 { return m.BudgetRejects }, true},
 	{"dualvdd_prep_builds_total", "counter", "Warm prepared-state constructions.",
 		func(m dualvdd.Metrics) int64 { return m.PrepBuilds }, true},
 	{"dualvdd_prep_reuses_total", "counter", "Runs that reused a warm prepared state.",
@@ -66,6 +70,8 @@ var promMetrics = []promMetric{
 		func(m dualvdd.Metrics) int64 { return int64(m.PointsInFlight) }, true},
 	{"dualvdd_fleet_redispatches_total", "counter", "Jobs moved off a dead worker onto a live one.",
 		func(m dualvdd.Metrics) int64 { return m.Redispatches }, true},
+	{"dualvdd_fleet_quarantined_jobs_total", "counter", "Jobs failed as poison after exhausting their re-dispatch budget.",
+		func(m dualvdd.Metrics) int64 { return m.QuarantinedJobs }, true},
 	{"dualvdd_fleet_admission_rejects_total", "counter", "Submissions refused at admission (quota or rate limit).",
 		func(m dualvdd.Metrics) int64 { return m.AdmissionRejects }, true},
 }

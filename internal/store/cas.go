@@ -32,8 +32,9 @@ import (
 // during eviction: an entry deleted between index lookup and file read is
 // simply a miss.
 type CAS struct {
-	dir string
-	max int
+	dir  string
+	max  int
+	sync bool
 
 	mu    sync.Mutex
 	index map[string]*list.Element
@@ -58,6 +59,15 @@ func CASMaxEntries(n int) CASOption {
 			c.max = n
 		}
 	}
+}
+
+// CASSync makes every Put fsync the entry file before the rename that
+// publishes it, so a machine crash cannot leave a published name pointing at
+// unwritten data. Off by default: the rename already guarantees atomicity
+// against process crashes, and a cache entry lost to a power cut is just a
+// recomputation.
+func CASSync() CASOption {
+	return func(c *CAS) { c.sync = true }
 }
 
 // OpenCAS opens (creating as needed) a directory CAS. Existing entries are
@@ -127,7 +137,10 @@ func OpenCAS(dir string, opts ...CASOption) (*CAS, error) {
 	return c, nil
 }
 
-var _ dualvdd.ResultCache = (*CAS)(nil)
+var (
+	_ dualvdd.ResultCache   = (*CAS)(nil)
+	_ dualvdd.FallibleCache = (*CAS)(nil)
+)
 
 // validKey reports whether key is a hex SHA-256 digest — the only file names
 // the CAS creates or trusts.
@@ -145,10 +158,20 @@ func (c *CAS) path(key string) string {
 }
 
 // Get reads the entry under key, returning a miss for absent, concurrently
-// evicted, or undecodable entries.
+// evicted, or undecodable entries — and for backend read errors, which only
+// GetErr distinguishes.
 func (c *CAS) Get(key string) (*dualvdd.CachedResult, bool) {
+	res, ok, _ := c.GetErr(key)
+	return res, ok
+}
+
+// GetErr is Get with the failure reason (dualvdd.FallibleCache): an absent,
+// concurrently evicted, or corrupt entry is a clean miss, while a read error
+// on a file the index says exists — a dying backend — is returned as an
+// error so wrappers like dualvdd.DegradingCache can trip on it.
+func (c *CAS) GetErr(key string) (*dualvdd.CachedResult, bool, error) {
 	if !validKey(key) {
-		return nil, false
+		return nil, false, nil
 	}
 	c.mu.Lock()
 	el, ok := c.index[key]
@@ -157,51 +180,67 @@ func (c *CAS) Get(key string) (*dualvdd.CachedResult, bool) {
 	}
 	c.mu.Unlock()
 	if !ok {
-		return nil, false
+		return nil, false, nil
 	}
 	// The read happens outside the lock: eviction may race us and delete the
 	// file, which is fine — that is a miss, not an error.
 	b, err := os.ReadFile(c.path(key))
 	if err != nil {
-		return nil, false
+		if os.IsNotExist(err) {
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("store: cas get: %w", err)
 	}
 	var res dualvdd.CachedResult
 	if err := json.Unmarshal(b, &res); err != nil || res.Key != key || res.Design == nil {
-		return nil, false
+		return nil, false, nil // corrupt entry: a miss, never a wrong answer
 	}
-	return &res, true
+	return &res, true, nil
 }
 
 // Put writes the entry atomically and evicts past MaxEntries. Failures are
-// silent — the CAS is a cache, and a failed write degrades to recomputation.
-func (c *CAS) Put(res *dualvdd.CachedResult) {
+// silent — the CAS is a cache, and a failed write degrades to recomputation;
+// PutErr is the same write with the reason surfaced.
+func (c *CAS) Put(res *dualvdd.CachedResult) { _ = c.PutErr(res) }
+
+// PutErr is Put with the failure reason (dualvdd.FallibleCache): a non-nil
+// error — ENOSPC, a read-only mount, a vanished directory — means the entry
+// was not stored.
+func (c *CAS) PutErr(res *dualvdd.CachedResult) error {
 	if res == nil || !validKey(res.Key) {
-		return
+		return nil // not a backend failure: nothing valid to store
 	}
 	b, err := json.Marshal(res)
 	if err != nil {
-		return
+		return fmt.Errorf("store: cas put: %w", err)
 	}
 	shard := filepath.Join(c.dir, res.Key[:2])
 	if err := os.MkdirAll(shard, 0o755); err != nil {
-		return
+		return fmt.Errorf("store: cas put: %w", err)
 	}
 	tmp, err := os.CreateTemp(shard, res.Key+".tmp*")
 	if err != nil {
-		return
+		return fmt.Errorf("store: cas put: %w", err)
 	}
 	if _, err := tmp.Write(b); err != nil {
 		tmp.Close()
 		_ = os.Remove(tmp.Name())
-		return
+		return fmt.Errorf("store: cas put: %w", err)
+	}
+	if c.sync {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			_ = os.Remove(tmp.Name())
+			return fmt.Errorf("store: cas sync: %w", err)
+		}
 	}
 	if err := tmp.Close(); err != nil {
 		_ = os.Remove(tmp.Name())
-		return
+		return fmt.Errorf("store: cas put: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), c.path(res.Key)); err != nil {
 		_ = os.Remove(tmp.Name())
-		return
+		return fmt.Errorf("store: cas put: %w", err)
 	}
 	size := int64(len(b))
 	c.mu.Lock()
@@ -215,6 +254,7 @@ func (c *CAS) Put(res *dualvdd.CachedResult) {
 	}
 	c.evictLocked()
 	c.mu.Unlock()
+	return nil
 }
 
 // evictLocked drops least-recently-used entries past the bound; call with

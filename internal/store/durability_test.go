@@ -1,0 +1,228 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dualvdd"
+	"dualvdd/internal/chaos"
+)
+
+func rec(seq int64) dualvdd.JobRecord {
+	return dualvdd.JobRecord{
+		Seq: seq, Key: fakeKey(int(seq)),
+		Status: dualvdd.JobStatus{ID: dualvdd.JobID(fakeKey(int(seq))[:12]), State: dualvdd.JobDone},
+	}
+}
+
+// TestJournalSyncCadence exercises the three durability levels through their
+// observable contract: appends succeed, Sync is idempotent and cheap when
+// nothing is pending, and Close flushes whatever the cadence left unsynced —
+// at every level the full record set replays after reopen.
+func TestJournalSyncCadence(t *testing.T) {
+	for _, every := range []int{0, 1, 3} {
+		path := filepath.Join(t.TempDir(), "jobs.log")
+		j, err := OpenJournal(path, JournalSyncEvery(every))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seq := int64(1); seq <= 7; seq++ {
+			if err := j.Append(rec(seq)); err != nil {
+				t.Fatalf("syncEvery=%d: append %d: %v", every, seq, err)
+			}
+		}
+		if err := j.Sync(); err != nil {
+			t.Fatalf("syncEvery=%d: explicit sync: %v", every, err)
+		}
+		if err := j.Sync(); err != nil {
+			t.Fatalf("syncEvery=%d: idempotent sync: %v", every, err)
+		}
+		if err := j.Close(); err != nil {
+			t.Fatalf("syncEvery=%d: close: %v", every, err)
+		}
+		re, err := OpenJournal(path, JournalSyncEvery(every))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := int64(0)
+		if err := re.Replay(func(r dualvdd.JobRecord) error {
+			n++
+			if r.Seq != n {
+				t.Fatalf("syncEvery=%d: record %d has seq %d", every, n, r.Seq)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		re.Close()
+		if n != 7 {
+			t.Fatalf("syncEvery=%d: replayed %d records, want 7", every, n)
+		}
+	}
+}
+
+// TestJournalCrashConsistencyTornWrite drives the crash shape through the
+// chaos torn-write injector: a commit-durability journal loses power with
+// the final append half on disk. Every record before the tear must replay,
+// the torn line must vanish, and the journal must keep accepting appends
+// whose records replay cleanly after the survivors.
+func TestJournalCrashConsistencyTornWrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.log")
+	j, err := OpenJournal(path, JournalSyncEvery(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := int64(1); seq <= 4; seq++ {
+		if err := j.Append(rec(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The crash: the last record's tail never hit the platter.
+	if err := chaos.TearTail(path, 9); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenJournal(path, JournalSyncEvery(1))
+	if err != nil {
+		t.Fatalf("reopen after torn write: %v", err)
+	}
+	defer re.Close()
+	var seqs []int64
+	if err := re.Replay(func(r dualvdd.JobRecord) error {
+		seqs = append(seqs, r.Seq)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 3 || seqs[0] != 1 || seqs[2] != 3 {
+		t.Fatalf("post-crash replay returned seqs %v, want [1 2 3]", seqs)
+	}
+
+	// Life goes on: appends after the crash replay after the survivors.
+	if err := re.Append(rec(5)); err != nil {
+		t.Fatal(err)
+	}
+	seqs = seqs[:0]
+	if err := re.Replay(func(r dualvdd.JobRecord) error {
+		seqs = append(seqs, r.Seq)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 4 || seqs[3] != 5 {
+		t.Fatalf("post-crash append lost: seqs %v", seqs)
+	}
+}
+
+// TestCASFallibleSurface pins the GetErr/PutErr error taxonomy: a missing or
+// corrupt entry is a clean miss (nil error — the backend is healthy, the
+// entry is not), while a genuine backend read failure surfaces as an error,
+// which is what lets a DegradingCache tell recomputation from a dying disk.
+func TestCASFallibleSurface(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCAS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Missing: clean miss.
+	if _, ok, err := c.GetErr(fakeKey(1)); ok || err != nil {
+		t.Fatalf("missing entry: ok=%v err=%v, want clean miss", ok, err)
+	}
+
+	// Corrupt on disk: clean miss, not an error.
+	bad := fakeKey(2)
+	c.Put(entry(bad, 2))
+	if err := os.WriteFile(c.path(bad), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := c.GetErr(bad); ok || err != nil {
+		t.Fatalf("corrupt entry: ok=%v err=%v, want clean miss", ok, err)
+	}
+	if _, ok := c.Get(bad); ok {
+		t.Fatal("corrupt entry served as a hit on the swallowing surface")
+	}
+
+	// A real backend failure: the entry path is unreadable as a file
+	// (a directory squats on it), which is EISDIR, not corruption.
+	sick := fakeKey(3)
+	c.Put(entry(sick, 3))
+	if err := os.Remove(c.path(sick)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(c.path(sick), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.GetErr(sick); err == nil {
+		t.Fatal("backend read failure reported as a clean miss")
+	}
+
+	// Round trip through the fallible write surface.
+	good := fakeKey(4)
+	if err := c.PutErr(entry(good, 4)); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := c.GetErr(good)
+	if err != nil || !ok || got.Key != good {
+		t.Fatalf("PutErr round trip: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestCASPutErrReportsFailure: a write into an unwritable directory comes
+// back as an error on the fallible surface instead of vanishing.
+func TestCASPutErrReportsFailure(t *testing.T) {
+	if os.Getuid() == 0 {
+		t.Skip("permission-denied writes are not enforceable as root")
+	}
+	dir := t.TempDir()
+	c, err := OpenCAS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+	if err := c.PutErr(entry(fakeKey(1), 1)); err == nil {
+		t.Fatal("write into an unwritable store reported success")
+	}
+}
+
+// TestCASSyncOption: the fsync-on-put option keeps the normal contract.
+func TestCASSyncOption(t *testing.T) {
+	c, err := OpenCAS(t.TempDir(), CASSync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := fakeKey(1)
+	if err := c.PutErr(entry(key, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); !ok {
+		t.Fatal("synced put not readable")
+	}
+}
+
+// TestJournalAppendAfterClose: a closed journal fails loudly, not silently.
+func TestJournalAppendAfterClose(t *testing.T) {
+	j, err := OpenJournal(filepath.Join(t.TempDir(), "jobs.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(rec(1)); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+	if err := j.Sync(); err != nil && !errors.Is(err, os.ErrClosed) {
+		// Sync after close may legitimately fail; it must not panic.
+		t.Logf("sync after close: %v", err)
+	}
+}

@@ -217,11 +217,28 @@ func (l *Local) Submit(ctx context.Context, job Job) (JobID, error) {
 	if err := ctx.Err(); err != nil {
 		return "", err
 	}
+	budget, hasBudget := JobBudget(ctx)
+	if hasBudget && budget <= 0 {
+		l.mu.Lock()
+		l.metrics.BudgetRejects++
+		l.mu.Unlock()
+		return "", ErrBudgetExhausted
+	}
 	key, net, err := job.key() // validates and parses the circuit once
 	if err != nil {
 		return "", err
 	}
-	jctx, jcancel := context.WithCancel(context.Background())
+	// The per-job context is detached from the Submit ctx (the job outlives
+	// the call) but bounded by the remaining deadline budget when one is set:
+	// a job that overruns its end-to-end budget is cancelled, not left
+	// burning a worker nobody is waiting for.
+	var jctx context.Context
+	var jcancel context.CancelFunc
+	if hasBudget {
+		jctx, jcancel = context.WithTimeout(context.Background(), budget)
+	} else {
+		jctx, jcancel = context.WithCancel(context.Background())
+	}
 	j := &localJob{
 		spec:   job,
 		key:    key,
@@ -245,10 +262,18 @@ func (l *Local) Submit(ctx context.Context, job Job) (JobID, error) {
 	l.mu.Unlock()
 
 	// The cache lookup happens outside l.mu: a disk-backed ResultCache does
-	// I/O, and the interface carries its own synchronization.
+	// I/O, and the interface carries its own synchronization. The fallible
+	// surface is preferred so backend read errors land on StoreErrors instead
+	// of vanishing into the miss count.
 	var entry *CachedResult
 	if l.cache != nil {
-		entry, _ = l.cache.Get(key)
+		var cacheErr error
+		entry, _, cacheErr = CacheGet(l.cache, key)
+		if cacheErr != nil {
+			l.mu.Lock()
+			l.metrics.StoreErrors++
+			l.mu.Unlock()
+		}
 	}
 
 	l.mu.Lock()
@@ -441,6 +466,9 @@ func (l *Local) Metrics() Metrics {
 	if l.cache != nil {
 		m.CacheEntries = l.cache.Len()
 		m.CacheBytes = l.cache.Bytes()
+		if d, ok := l.cache.(interface{ Degraded() bool }); ok && d.Degraded() {
+			m.StoreDegraded = 1
+		}
 	}
 	return m
 }
@@ -541,7 +569,11 @@ func (l *Local) runJob(j *localJob) {
 	}
 	l.mu.Unlock()
 	if state == JobDone && l.cache != nil {
-		l.cache.Put(&CachedResult{Key: j.key, Design: design, Results: results})
+		if err := CachePut(l.cache, &CachedResult{Key: j.key, Design: design, Results: results}); err != nil {
+			l.mu.Lock()
+			l.metrics.StoreErrors++
+			l.mu.Unlock()
+		}
 	}
 	l.retire(j)
 }

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"dualvdd/internal/blif"
 	"dualvdd/internal/logic"
@@ -57,6 +58,10 @@ var (
 	ErrQueueFull = errors.New("dualvdd: job queue full")
 	// ErrClosed reports a runner that has begun shutting down.
 	ErrClosed = errors.New("dualvdd: runner closed")
+	// ErrBudgetExhausted reports a submission whose end-to-end deadline
+	// budget (WithJobBudget) was already spent when it reached admission —
+	// the work would be dead on arrival, so it is rejected instead of run.
+	ErrBudgetExhausted = errors.New("dualvdd: job deadline budget exhausted")
 )
 
 // JobID identifies a submitted job within one runner.
@@ -233,6 +238,32 @@ func TenantFromContext(ctx context.Context) string {
 	return t
 }
 
+// jobBudgetKey is the context key of WithJobBudget.
+type jobBudgetKey struct{}
+
+// WithJobBudget tags a context with an end-to-end deadline budget for the
+// submission it carries: the job must finish within d of now. The tag stores
+// an absolute deadline, so the remaining budget shrinks naturally as the
+// submission crosses hops — client retries, coordinator admission, worker
+// dispatch each read what is left, not what was granted. A runner rejects an
+// exhausted budget at admission with ErrBudgetExhausted and bounds the
+// accepted job's execution by the remainder. Unlike the ctx deadline, the
+// budget outlives the Submit call: it bounds the job, not the request that
+// delivered it.
+func WithJobBudget(ctx context.Context, d time.Duration) context.Context {
+	return context.WithValue(ctx, jobBudgetKey{}, time.Now().Add(d))
+}
+
+// JobBudget returns the remaining budget of a tagged context (possibly
+// negative once overspent) and whether a budget is set at all.
+func JobBudget(ctx context.Context) (time.Duration, bool) {
+	dl, ok := ctx.Value(jobBudgetKey{}).(time.Time)
+	if !ok {
+		return 0, false
+	}
+	return time.Until(dl), true
+}
+
 // DesignInfo is the serializable summary of a prepared design — what
 // EventMapped reports, kept on the job status so late watchers and remote
 // clients see it without replaying the stream.
@@ -296,6 +327,13 @@ type Metrics struct {
 	// appends, CAS puts). Jobs never fail on them — durability is
 	// best-effort — but a non-zero count means restarts may recompute.
 	StoreErrors int64 `json:"store_errors,omitempty"`
+	// StoreDegraded is 1 while the result cache is serving from its
+	// in-memory fallback because the disk backend errored persistently
+	// (DegradingCache), 0 otherwise.
+	StoreDegraded int `json:"store_degraded,omitempty"`
+	// BudgetRejects counts submissions refused at admission because their
+	// end-to-end deadline budget (WithJobBudget) was already exhausted.
+	BudgetRejects int64 `json:"budget_rejects,omitempty"`
 	// PrepBuilds and PrepReuses count warm prepared-state constructions and
 	// the runs that rode an existing one (LocalWarmPrep); PrepGroups is the
 	// current resident group count. Reuses/Builds is the warm path's
@@ -319,6 +357,10 @@ type Metrics struct {
 	WorkersDead    int   `json:"workers_dead,omitempty"`
 	PointsInFlight int   `json:"points_in_flight,omitempty"`
 	Redispatches   int64 `json:"redispatches,omitempty"`
+	// QuarantinedJobs counts jobs failed as poison: they exhausted the
+	// coordinator's re-dispatch budget (each attempt killing its worker) and
+	// were quarantined instead of re-dispatched forever.
+	QuarantinedJobs int64 `json:"quarantined_jobs,omitempty"`
 	// AdmissionRejects totals submissions refused at admission (quota or
 	// rate limit); TenantRejects breaks the total down per tenant.
 	AdmissionRejects int64            `json:"admission_rejects,omitempty"`

@@ -89,6 +89,8 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusNotFound
 	case errors.Is(err, dualvdd.ErrQueueFull):
 		status = http.StatusTooManyRequests
+	case errors.Is(err, dualvdd.ErrBudgetExhausted):
+		status = http.StatusRequestTimeout
 	case errors.Is(err, dualvdd.ErrClosed):
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
@@ -108,6 +110,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// Restore the client-side tenant tag so a tenancy-aware runner (a
 		// fleet coordinator) can apply its admission policy.
 		ctx = dualvdd.WithTenant(ctx, tenant)
+	}
+	if raw := r.Header.Get(report.BudgetHeader); raw != "" {
+		// Restore the remaining deadline budget; the runner rejects an
+		// exhausted one at admission (mapped to 408 by writeError) and bounds
+		// the accepted job's execution by the remainder. A malformed header
+		// is ignored — a budget is an optimization, not an authentication.
+		if ms, err := strconv.ParseInt(raw, 10, 64); err == nil {
+			ctx = dualvdd.WithJobBudget(ctx, time.Duration(ms)*time.Millisecond)
+		}
 	}
 	id, err := s.runner.Submit(ctx, req.Job())
 	if err != nil {

@@ -79,6 +79,217 @@ type JobStore interface {
 	Close() error
 }
 
+// FallibleCache is the error-surfacing extension of ResultCache: the same
+// store, with variants that report why an operation failed instead of
+// swallowing it into a miss. Disk-backed caches implement it so callers that
+// care (a DegradingCache tripping into memory mode, a runner counting
+// StoreErrors) can tell a clean miss from a dying backend; Get/Put remain the
+// swallowing surface for callers that do not.
+type FallibleCache interface {
+	ResultCache
+	// GetErr is Get with the failure reason: (nil, false, nil) is a clean
+	// miss, a non-nil error is a backend failure. A corrupt entry is a clean
+	// miss — the entry is unusable but the backend is healthy.
+	GetErr(key string) (*CachedResult, bool, error)
+	// PutErr is Put with the failure reason; a non-nil error means the entry
+	// was not stored.
+	PutErr(res *CachedResult) error
+}
+
+// CacheGet reads key through c's error-surfacing interface when it has one,
+// so wrappers and runners observe backend failures; a plain ResultCache never
+// errors.
+func CacheGet(c ResultCache, key string) (*CachedResult, bool, error) {
+	if fc, ok := c.(FallibleCache); ok {
+		return fc.GetErr(key)
+	}
+	res, ok := c.Get(key)
+	return res, ok, nil
+}
+
+// CachePut writes res through c's error-surfacing interface when it has one.
+func CachePut(c ResultCache, res *CachedResult) error {
+	if fc, ok := c.(FallibleCache); ok {
+		return fc.PutErr(res)
+	}
+	c.Put(res)
+	return nil
+}
+
+// DegradingCache is the graceful-degradation wrapper for a disk-backed
+// result cache: it serves from the primary until the primary errors
+// persistently (threshold consecutive failures of either reads or writes —
+// the two are tracked apart, so a full disk that still reads fine trips on
+// its write failures alone), then trips into a bounded in-memory fallback so
+// the service keeps caching — degraded, not down. While degraded it probes
+// the primary on a put cadence and recovers the moment a probe succeeds.
+// Entries written during failure windows land in the fallback, so they stay
+// findable either way; the Degraded gauge (surfaced as the store_degraded
+// metric) is how operators see the trip.
+type DegradingCache struct {
+	mu        sync.Mutex
+	primary   FallibleCache
+	fallback  *MemoryCache
+	threshold int
+	getFails  int   // consecutive primary read failures while healthy
+	putFails  int   // consecutive primary write failures while healthy
+	degraded  bool  // tripped into fallback mode
+	puts      int   // degraded-mode put counter, drives probing
+	errs      int64 // total primary failures observed
+}
+
+// degradeProbeEvery is the degraded-mode put cadence at which the primary is
+// re-probed for recovery.
+const degradeProbeEvery = 8
+
+// NewDegradingCache wraps primary with an in-memory fallback bounded to
+// fallbackEntries (<= 0 unbounded), tripping after threshold consecutive
+// primary failures (<= 0 means 3).
+func NewDegradingCache(primary FallibleCache, fallbackEntries, threshold int) *DegradingCache {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	return &DegradingCache{
+		primary:   primary,
+		fallback:  NewMemoryCache(fallbackEntries),
+		threshold: threshold,
+	}
+}
+
+var _ ResultCache = (*DegradingCache)(nil)
+
+// failGet and failPut record one primary failure of their operation class,
+// tripping past the threshold. The classes count separately: a read success
+// must not forgive a streak of write failures (the ENOSPC shape), nor the
+// other way around.
+func (c *DegradingCache) failGet() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.errs++
+	c.getFails++
+	if c.getFails >= c.threshold {
+		c.degraded = true
+	}
+}
+
+func (c *DegradingCache) failPut() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.errs++
+	c.putFails++
+	if c.putFails >= c.threshold {
+		c.degraded = true
+	}
+}
+
+// okGet and okPut record one primary success of their class while healthy.
+func (c *DegradingCache) okGet() {
+	c.mu.Lock()
+	c.getFails = 0
+	c.mu.Unlock()
+}
+
+func (c *DegradingCache) okPut() {
+	c.mu.Lock()
+	c.putFails = 0
+	c.mu.Unlock()
+}
+
+// recoverPrimary leaves degraded mode after a successful probe.
+func (c *DegradingCache) recoverPrimary() {
+	c.mu.Lock()
+	c.degraded = false
+	c.getFails = 0
+	c.putFails = 0
+	c.puts = 0
+	c.mu.Unlock()
+}
+
+// Degraded reports whether the cache is serving from its fallback.
+func (c *DegradingCache) Degraded() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.degraded
+}
+
+// Errors is the total count of primary failures observed.
+func (c *DegradingCache) Errors() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.errs
+}
+
+// Get serves from the primary while healthy, falling back — for this key and,
+// past the threshold, for good — when the primary errors. A primary miss
+// still consults the fallback: entries written during failure windows live
+// there.
+func (c *DegradingCache) Get(key string) (*CachedResult, bool) {
+	if c.Degraded() {
+		return c.fallback.Get(key)
+	}
+	res, found, err := c.primary.GetErr(key)
+	if err != nil {
+		c.failGet()
+		return c.fallback.Get(key)
+	}
+	c.okGet()
+	if !found {
+		return c.fallback.Get(key)
+	}
+	return res, true
+}
+
+// Put writes to the primary while healthy; a failed write lands in the
+// fallback instead so the entry is not lost. While degraded, writes go to the
+// fallback and every degradeProbeEvery-th one probes the primary for
+// recovery.
+func (c *DegradingCache) Put(res *CachedResult) {
+	if c.Degraded() {
+		c.fallback.Put(res)
+		c.mu.Lock()
+		c.puts++
+		probe := c.puts%degradeProbeEvery == 0
+		c.mu.Unlock()
+		if probe {
+			if err := c.primary.PutErr(res); err == nil {
+				c.recoverPrimary()
+			}
+		}
+		return
+	}
+	if err := c.primary.PutErr(res); err != nil {
+		c.failPut()
+		c.fallback.Put(res)
+		return
+	}
+	c.okPut()
+}
+
+// Len is the resident entry count of whichever store is serving.
+func (c *DegradingCache) Len() int {
+	if c.Degraded() {
+		return c.fallback.Len()
+	}
+	return c.primary.Len()
+}
+
+// Bytes is the serving store's footprint.
+func (c *DegradingCache) Bytes() int64 {
+	if c.Degraded() {
+		return c.fallback.Bytes()
+	}
+	return c.primary.Bytes()
+}
+
+// Close releases both stores.
+func (c *DegradingCache) Close() error {
+	err := c.primary.Close()
+	if cerr := c.fallback.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
 // MemoryCache is the in-memory ResultCache: an LRU bounded by entry count.
 // It is the reference implementation the disk CAS is differential-tested
 // against, and the default cache of a Local runner.
