@@ -1,0 +1,78 @@
+// Command dualvdd-lint machine-checks the repo's determinism, context, and
+// concurrency invariants with the analyzer suite in internal/analysis.
+//
+// It runs in two modes:
+//
+//	dualvdd-lint ./...                      # multichecker over go list patterns
+//	go vet -vettool=$(pwd)/dualvdd-lint ./...  # vet unit protocol
+//
+// Both modes run the same analyzers (see `dualvdd-lint -help` for the
+// list); the vettool mode additionally analyzes test-variant packages,
+// though the analyzers themselves skip _test.go files. Exit status is
+// non-zero when any diagnostic is reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dualvdd/internal/analysis/driver"
+	"dualvdd/internal/analysis/suite"
+)
+
+func main() {
+	analyzers := suite.Analyzers()
+
+	// `go vet -vettool=` probes with -V=full / -flags and then invokes the
+	// tool once per package with a *.cfg unit file. Detect those shapes
+	// before normal flag parsing so both modes coexist in one binary.
+	if isVetInvocation(os.Args[1:]) {
+		driver.VetMain(analyzers)
+	}
+
+	fs := flag.NewFlagSet("dualvdd-lint", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: dualvdd-lint [packages]\n\nAnalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(fs.Output(), "  %-14s %s\n", a.Name, a.Doc)
+		}
+	}
+	_ = fs.Parse(os.Args[1:])
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := driver.Load(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dualvdd-lint:", err)
+		os.Exit(1)
+	}
+	findings, err := driver.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dualvdd-lint:", err)
+		os.Exit(1)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "dualvdd-lint: %d finding(s)\n", len(findings))
+		os.Exit(2)
+	}
+}
+
+// isVetInvocation recognizes the cmd/go vettool protocol argument shapes.
+func isVetInvocation(args []string) bool {
+	for _, a := range args {
+		switch {
+		case strings.HasPrefix(a, "-V=") || a == "-V" || a == "-flags":
+			return true
+		case strings.HasSuffix(a, ".cfg"):
+			return true
+		}
+	}
+	return false
+}

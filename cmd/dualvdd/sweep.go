@@ -111,9 +111,9 @@ func runSweep(args []string) {
 		if *warm {
 			fatal(fmt.Errorf("-warm shares in-process prepared state and cannot be combined with -addr"))
 		}
-		c, err := client.New(*addr)
-		if err != nil {
-			fatal(err)
+		c, dialErr := client.New(*addr)
+		if dialErr != nil {
+			fatal(dialErr)
 		}
 		if err := c.Health(ctx); err != nil {
 			fatal(err)

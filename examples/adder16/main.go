@@ -30,9 +30,9 @@ func main() {
 
 	var best *dualvdd.FlowResult
 	for _, run := range []func() (*dualvdd.FlowResult, error){d.RunCVS, d.RunDscale, d.RunGscale} {
-		res, err := run()
-		if err != nil {
-			log.Fatal(err)
+		res, runErr := run()
+		if runErr != nil {
+			log.Fatal(runErr)
 		}
 		fmt.Printf("%-8s %10.2f %8.2f %5d/%-3d %5d %6d %+7.1f%%\n",
 			res.Algorithm, res.Power*1e6, res.ImprovePct,

@@ -146,13 +146,13 @@ func main() {
 				dualvdd.FromConfig(pr.Point.Config),
 				dualvdd.WithAlgorithms(pr.Point.Algorithms...),
 			)
-			d, err := flow.PrepareBenchmark(ctx, pr.Point.Circuit.Benchmark)
-			if err != nil {
-				log.Fatal(err)
+			d, prepErr := flow.PrepareBenchmark(ctx, pr.Point.Circuit.Benchmark)
+			if prepErr != nil {
+				log.Fatal(prepErr)
 			}
-			want, err := flow.Run(ctx, d)
-			if err != nil {
-				log.Fatal(err)
+			want, runErr := flow.Run(ctx, d)
+			if runErr != nil {
+				log.Fatal(runErr)
 			}
 			bad += diffResults(pr.Point, pr.Status.Results, want)
 		}

@@ -45,7 +45,7 @@ type tenantState struct {
 // newAdmission builds the policy; a nil clock uses time.Now.
 func newAdmission(rate float64, burst float64, inFlight int, now func() time.Time) *admission {
 	if now == nil {
-		now = time.Now
+		now = time.Now //lint:wallclock-ok this IS the injectable clock seam; tests swap it
 	}
 	if burst < 1 && rate > 0 {
 		burst = 1

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"maps"
 	"sync"
 	"time"
 
@@ -196,11 +197,11 @@ type fleetJob struct {
 	cancel context.CancelFunc
 
 	mu      sync.Mutex
-	status  dualvdd.JobStatus
-	events  []dualvdd.Event
-	relayed int           // events delivered so far, for replay dedup across re-dispatch
-	update  chan struct{} // closed and replaced on every append/state change
-	done    chan struct{} // closed on terminal state
+	status  dualvdd.JobStatus // guarded by mu
+	events  []dualvdd.Event   // guarded by mu
+	relayed int               // guarded by mu; events delivered so far, for replay dedup across re-dispatch
+	update  chan struct{}     // guarded by mu; closed and replaced on every append/state change
+	done    chan struct{}     // closed on terminal state; receiving needs no lock
 }
 
 // Coordinator shards jobs across a worker fleet. It implements
@@ -226,13 +227,13 @@ type Coordinator struct {
 	admission *admission
 
 	mu      sync.Mutex
-	ring    *ring
-	workers map[string]*workerState
-	jobs    map[dualvdd.JobID]*fleetJob
-	retired []dualvdd.JobID
-	order   int64
-	closed  bool
-	metrics dualvdd.Metrics
+	ring    *ring                       // guarded by mu
+	workers map[string]*workerState     // guarded by mu
+	jobs    map[dualvdd.JobID]*fleetJob // guarded by mu
+	retired []dualvdd.JobID             // guarded by mu
+	order   int64                       // guarded by mu
+	closed  bool                        // guarded by mu
+	metrics dualvdd.Metrics             // guarded by mu
 
 	wg   sync.WaitGroup
 	stop chan struct{}
@@ -243,6 +244,8 @@ type Coordinator struct {
 // previous life's terminal jobs are replayed first; with a durable
 // WithResultCache a restarted coordinator answers already-computed points
 // from the cache — together they make an interrupted sweep resumable.
+//
+//lint:unguarded-ok construction: the coordinator is not shared until New returns
 func New(workerURLs []string, opts ...Option) (*Coordinator, error) {
 	if len(workerURLs) == 0 {
 		return nil, errors.New("fleet: at least one worker required")
@@ -302,7 +305,7 @@ var _ dualvdd.MetricsProvider = (*Coordinator)(nil)
 // fall back as they recover.
 func (c *Coordinator) healthLoop() {
 	defer c.wg.Done()
-	t := time.NewTicker(c.healthInterval)
+	t := time.NewTicker(c.healthInterval) //lint:wallclock-ok health probing cadence; liveness only
 	defer t.Stop()
 	for {
 		select {
@@ -312,6 +315,7 @@ func (c *Coordinator) healthLoop() {
 		}
 		c.mu.Lock()
 		workers := make([]*workerState, 0, len(c.workers))
+		//lint:nondeterministic-ok each worker is probed independently; probe order carries no state
 		for _, w := range c.workers {
 			workers = append(workers, w)
 		}
@@ -371,9 +375,10 @@ func (c *Coordinator) pickWorker(group string, tried map[string]bool) *workerSta
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	skip := make(map[string]bool, len(tried))
-	for name := range tried {
-		skip[name] = true
-	}
+	maps.Copy(skip, tried)
+	// Set construction: insertion order cannot affect the skip set, and
+	// ring.pick's skip-walk is deterministic in its contents.
+	//lint:nondeterministic-ok building a set; ring.pick orders the walk
 	for name, w := range c.workers {
 		if !w.eligible() {
 			skip[name] = true
@@ -436,8 +441,10 @@ func (c *Coordinator) Submit(ctx context.Context, job dualvdd.Job) (dualvdd.JobI
 	var jctx context.Context
 	var jcancel context.CancelFunc
 	if hasBudget {
+		//lint:ctx-ok documented detachment above: jobs outlive Submit, budget-bounded
 		jctx, jcancel = context.WithTimeout(context.Background(), budget)
 	} else {
+		//lint:ctx-ok documented detachment above: jobs outlive Submit, Cancel/Close-bounded
 		jctx, jcancel = context.WithCancel(context.Background())
 	}
 	j := &fleetJob{
@@ -539,8 +546,10 @@ func (c *Coordinator) drive(j *fleetJob) {
 		w := c.pickWorker(j.group, tried)
 		if w == nil {
 			if patience.IsZero() {
+				//lint:wallclock-ok delivery patience window; scheduling only, never in results
 				patience = time.Now().Add(c.patience)
 			}
+			//lint:wallclock-ok delivery patience window; scheduling only, never in results
 			if !time.Now().Before(patience) {
 				c.finalize(j, dualvdd.JobFailed, fmt.Sprintf("fleet: job undeliverable: %v", lastErr))
 				return
@@ -557,6 +566,7 @@ func (c *Coordinator) drive(j *fleetJob) {
 			case <-c.stop:
 				c.finalize(j, dualvdd.JobFailed, fmt.Sprintf("fleet: job undeliverable: %v", lastErr))
 				return
+			//lint:wallclock-ok recovery wait between delivery attempts; pacing only
 			case <-time.After(wait):
 			}
 			tried = map[string]bool{}
@@ -597,6 +607,7 @@ func (c *Coordinator) runOn(w *workerState, j *fleetJob) (bool, error) {
 	wctx := j.ctx
 	if j.budgeted {
 		if dl, ok := j.ctx.Deadline(); ok {
+			//lint:wallclock-ok forwarding the wall-time budget seam; see dualvdd.WithJobBudget
 			wctx = dualvdd.WithJobBudget(j.ctx, time.Until(dl)-c.hopBudget)
 		}
 	}
@@ -758,6 +769,8 @@ func (c *Coordinator) retire(j *fleetJob) {
 
 // replayJournal mirrors Local's: journaled terminal jobs become queryable
 // history and the submission counter resumes past them.
+//
+//lint:unguarded-ok construction: called from New before the health loop starts
 func (c *Coordinator) replayJournal() {
 	type replayed struct {
 		seq int64
@@ -796,7 +809,7 @@ func (c *Coordinator) replayJournal() {
 	}
 }
 
-// bump wakes Watch subscribers; call with j.mu held.
+// bump wakes Watch subscribers; caller holds j.mu.
 func (j *fleetJob) bump() {
 	close(j.update)
 	j.update = make(chan struct{})
@@ -919,13 +932,10 @@ func (c *Coordinator) Metrics() dualvdd.Metrics {
 	c.mu.Lock()
 	m := c.metrics
 	if m.TenantRejects != nil {
-		tr := make(map[string]int64, len(m.TenantRejects))
-		for k, v := range m.TenantRejects {
-			tr[k] = v
-		}
-		m.TenantRejects = tr
+		m.TenantRejects = maps.Clone(m.TenantRejects)
 	}
 	m.WorkersLive, m.WorkersDead = 0, 0
+	//lint:nondeterministic-ok commutative counting; the gauges are order-free
 	for _, w := range c.workers {
 		if w.state == breakerClosed {
 			m.WorkersLive++
@@ -950,6 +960,7 @@ func (c *Coordinator) Workers() map[string]bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := make(map[string]bool, len(c.workers))
+	//lint:nondeterministic-ok map-to-map projection; result is order-free
 	for name, w := range c.workers {
 		out[name] = w.state == breakerClosed
 	}
@@ -966,6 +977,7 @@ func (c *Coordinator) Close(ctx context.Context) error {
 		close(c.stop)
 	}
 	jobs := make([]*fleetJob, 0, len(c.jobs))
+	//lint:nondeterministic-ok shutdown cancels every job; cancellation order is immaterial
 	for _, j := range c.jobs {
 		jobs = append(jobs, j)
 	}

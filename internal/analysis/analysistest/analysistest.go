@@ -1,0 +1,139 @@
+// Package analysistest runs an analyzer over a testdata package and checks
+// its diagnostics against `// want "regexp"` comments, mirroring the
+// x/tools package of the same name.
+//
+// Layout matches x/tools convention: <pkg dir>/testdata/src/<name>/*.go.
+// A want comment asserts that the line it sits on produces at least one
+// diagnostic matching each quoted regular expression; lines without a want
+// comment must produce no diagnostics. Both matched and missing
+// expectations are reported through t.Errorf, so the suites double as
+// false-positive guards.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dualvdd/internal/analysis"
+	"dualvdd/internal/analysis/driver"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData() string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run loads each package testdata/src/<pkg>, applies a to it, and compares
+// diagnostics against the want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgNames ...string) {
+	t.Helper()
+	for _, name := range pkgNames {
+		dir := filepath.Join(testdata, "src", name)
+		pkgs, err := driver.Load([]string{dir})
+		if err != nil {
+			t.Errorf("loading %s: %v", dir, err)
+			continue
+		}
+		findings, err := driver.Run(pkgs, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("running %s on %s: %v", a.Name, dir, err)
+			continue
+		}
+
+		var wants []*expectation
+		for _, pkg := range pkgs {
+			for _, file := range pkg.Files {
+				wants = append(wants, collectWants(t, pkg, file)...)
+			}
+		}
+
+		// Every diagnostic must satisfy a want on its line.
+		for _, f := range findings {
+			matched := false
+			for _, w := range wants {
+				if w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+					w.hit = true
+					matched = true
+				}
+			}
+			if !matched {
+				t.Errorf("%s: unexpected diagnostic: %s", f.Pos, f.Message)
+			}
+		}
+		// Every want must have been satisfied.
+		for _, w := range wants {
+			if !w.hit {
+				t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+			}
+		}
+	}
+}
+
+// collectWants parses `// want "re" ["re" ...]` comments in file.
+func collectWants(t *testing.T, pkg *driver.Package, file *ast.File) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			idx := strings.Index(text, "want ")
+			if idx < 0 || strings.TrimSpace(text[:idx]) != "" {
+				continue
+			}
+			pos := pkg.Fset.Position(c.Pos())
+			rest := strings.TrimSpace(text[idx+len("want "):])
+			n := 0
+			for rest != "" {
+				q, err := quotedPrefix(rest)
+				if err != nil {
+					t.Errorf("%s: malformed want comment %q: %v", pos, c.Text, err)
+					break
+				}
+				pattern, err := strconv.Unquote(q)
+				if err != nil {
+					t.Errorf("%s: malformed want pattern %q: %v", pos, q, err)
+					break
+				}
+				re, err := regexp.Compile(pattern)
+				if err != nil {
+					t.Errorf("%s: bad want regexp %q: %v", pos, pattern, err)
+					break
+				}
+				wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				n++
+				rest = strings.TrimSpace(rest[len(q):])
+			}
+			if n == 0 {
+				t.Errorf("%s: want comment with no patterns: %q", pos, c.Text)
+			}
+		}
+	}
+	return wants
+}
+
+// quotedPrefix returns the Go string literal at the start of s (double- or
+// back-quoted).
+func quotedPrefix(s string) (string, error) {
+	q, err := strconv.QuotedPrefix(s)
+	if err != nil {
+		return "", fmt.Errorf("expected quoted string at %q", s)
+	}
+	return q, nil
+}

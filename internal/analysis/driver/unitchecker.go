@@ -1,0 +1,193 @@
+package driver
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"dualvdd/internal/analysis"
+)
+
+// vetConfig mirrors the JSON configuration cmd/go writes for each package
+// when it invokes a vet tool (`go vet -vettool=... ./...`). Field names are
+// fixed by the cmd/go side of the protocol.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// VetMain implements the vet tool side of the `go vet -vettool=` protocol
+// and never returns. Call it when os.Args indicates a vet invocation:
+//
+//   - `tool -V=full`: print a version/build-ID line for the go build cache.
+//   - `tool -flags`: describe supported flags as JSON.
+//   - `tool [flags] <unit>.cfg`: analyze one package unit, print findings,
+//     exit 2 if there were any.
+func VetMain(analyzers []*analysis.Analyzer) {
+	progname := filepath.Base(os.Args[0])
+
+	fs := flag.NewFlagSet(progname, flag.ExitOnError)
+	versionFlag := fs.String("V", "", "print version and exit (cmd/go cache handshake)")
+	jsonFlag := fs.Bool("json", false, "emit diagnostics as JSON")
+	fs.Bool("fix", false, "accepted for protocol compatibility; no fixes are applied")
+	flagsFlag := fs.Bool("flags", false, "print flag descriptions as JSON and exit")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(1)
+	}
+
+	if *versionFlag != "" {
+		// cmd/go requires `tool -V=full` output of the form
+		// "<progname> version <...>" with a content hash it can cache on.
+		data, err := os.ReadFile(os.Args[0])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, sha256.Sum256(data))
+		os.Exit(0)
+	}
+	if *flagsFlag {
+		type jsonFlagDesc struct {
+			Name  string
+			Bool  bool
+			Usage string
+		}
+		descs := []jsonFlagDesc{
+			{Name: "json", Bool: true, Usage: "emit diagnostics as JSON"},
+			{Name: "fix", Bool: true, Usage: "accepted for compatibility; no fixes are applied"},
+		}
+		data, _ := json.MarshalIndent(descs, "", "\t")
+		fmt.Println(string(data))
+		os.Exit(0)
+	}
+
+	args := fs.Args()
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		fmt.Fprintf(os.Stderr, "%s: expected one *.cfg argument; run me via `go vet -vettool=$(which %s)` or with package patterns\n", progname, progname)
+		os.Exit(1)
+	}
+	os.Exit(runUnit(args[0], analyzers, *jsonFlag))
+}
+
+// runUnit analyzes the single package unit described by cfgFile.
+func runUnit(cfgFile string, analyzers []*analysis.Analyzer, asJSON bool) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "cannot decode vet config %s: %v\n", cfgFile, err)
+		return 1
+	}
+
+	// We export no facts, but cmd/go expects the .vetx output to exist so
+	// it can cache it for dependent packages.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	compImp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path := importPath
+		if mapped, ok := cfg.ImportMap[importPath]; ok {
+			path = mapped
+		}
+		return compImp.Import(path)
+	})
+
+	pkg, err := check(fset, imp, cfg.ImportPath, cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	findings, err := Run([]*Package{pkg}, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if asJSON {
+		return printJSON(cfg.ImportPath, analyzers, findings)
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", f.Pos, f.Message)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// printJSON emits the diagnostics in the same nested shape as x/tools
+// unitchecker: {"pkg": {"analyzer": [{posn, message}, ...]}}.
+func printJSON(pkgPath string, analyzers []*analysis.Analyzer, findings []Finding) int {
+	type jsonDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	byAnalyzer := make(map[string][]jsonDiag)
+	for _, f := range findings {
+		byAnalyzer[f.Analyzer] = append(byAnalyzer[f.Analyzer], jsonDiag{
+			Posn:    f.Pos.String(),
+			Message: f.Message,
+		})
+	}
+	names := make([]string, 0, len(byAnalyzer))
+	for name := range byAnalyzer {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := map[string]map[string][]jsonDiag{pkgPath: byAnalyzer}
+	data, err := json.MarshalIndent(out, "", "\t")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Println(string(data))
+	return 0 // JSON mode always exits 0, matching unitchecker
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

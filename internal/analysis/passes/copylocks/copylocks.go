@@ -1,0 +1,121 @@
+// Package copylocks flags by-value copies of lock-containing values, going
+// a little beyond cmd/vet's pass so the whole suite can run standalone in
+// dualvdd-lint: assignments, short declarations, call arguments, returns,
+// range values, composite-literal elements, channel sends, and
+// function/method signatures (parameters, results, by-value receivers)
+// whose types transitively contain a sync primitive.
+//
+// Copying a mutex (or a struct holding one) forks its lock state: the copy
+// guards nothing, which in this codebase typically surfaces as a -race
+// report deep inside the fleet only under load.
+package copylocks
+
+import (
+	"go/ast"
+	"go/types"
+
+	"dualvdd/internal/analysis"
+	"dualvdd/internal/analysis/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "copylocks",
+	Doc:  "flags by-value copies of types containing sync primitives, including in signatures",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		inspectFile(pass, file)
+	}
+	return nil
+}
+
+func inspectFile(pass *analysis.Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				checkCopy(pass, rhs, "assignment copies")
+			}
+		case *ast.ValueSpec:
+			for _, v := range n.Values {
+				checkCopy(pass, v, "variable declaration copies")
+			}
+		case *ast.CallExpr:
+			for _, arg := range n.Args {
+				checkCopy(pass, arg, "call argument copies")
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				checkCopy(pass, res, "return copies")
+			}
+		case *ast.SendStmt:
+			checkCopy(pass, n.Value, "channel send copies")
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					elt = kv.Value
+				}
+				checkCopy(pass, elt, "composite literal copies")
+			}
+		case *ast.RangeStmt:
+			if n.Value != nil {
+				if t := pass.TypesInfo.TypeOf(n.Value); t != nil && lintutil.ContainsLock(t) {
+					pass.Reportf(n.Value.Pos(), "range value copies lock: %s contains a sync primitive; range over indices or use pointers", t)
+				}
+			}
+		case *ast.FuncDecl:
+			checkSignature(pass, n.Recv, n.Type)
+		case *ast.FuncLit:
+			checkSignature(pass, nil, n.Type)
+		}
+		return true
+	})
+}
+
+// checkCopy reports expr when evaluating it copies an existing
+// lock-containing value. Fresh values (composite literals, calls, &x) and
+// pointers are fine.
+func checkCopy(pass *analysis.Pass, expr ast.Expr, what string) {
+	switch expr.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr, *ast.ParenExpr:
+	default:
+		return // fresh value or address; no existing lock state copied
+	}
+	t := pass.TypesInfo.TypeOf(expr)
+	if t == nil || !lintutil.ContainsLock(t) {
+		return
+	}
+	pass.Reportf(expr.Pos(), "%s lock: %s contains a sync primitive; use a pointer", what, t)
+}
+
+// checkSignature reports by-value parameters, results, and receivers of
+// lock-containing types.
+func checkSignature(pass *analysis.Pass, recv *ast.FieldList, ft *ast.FuncType) {
+	report := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			t := pass.TypesInfo.TypeOf(f.Type)
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			if lintutil.ContainsLock(t) {
+				pass.Reportf(f.Type.Pos(), "%s passes lock by value: %s contains a sync primitive; use a pointer", what, t)
+			}
+		}
+	}
+	report(recv, "receiver")
+	if ft != nil {
+		report(ft.Params, "parameter")
+		report(ft.Results, "result")
+	}
+}

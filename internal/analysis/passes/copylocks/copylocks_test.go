@@ -1,0 +1,12 @@
+package copylocks_test
+
+import (
+	"testing"
+
+	"dualvdd/internal/analysis/analysistest"
+	"dualvdd/internal/analysis/passes/copylocks"
+)
+
+func TestCopylocks(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), copylocks.Analyzer, "a")
+}

@@ -1,0 +1,83 @@
+// Package a exercises copylocks across assignment, declaration, call,
+// return, channel send, composite literal, range, and signature
+// positions; pointers and fresh values never trip it.
+package a
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+type wrapper struct{ inner counter }
+
+func sink(interface{}) {}
+
+func assignment(c *counter) {
+	cp := *c // want "assignment copies lock"
+	sink(&cp)
+}
+
+func declaration(c *counter) {
+	var cp counter = *c // want "variable declaration copies lock"
+	sink(&cp)
+}
+
+func callArg(c *counter) {
+	sink(*c) // want "call argument copies lock"
+}
+
+func ret(c *counter) counter { // want "result passes lock by value"
+	return *c // want "return copies lock"
+}
+
+func send(ch chan *counter, c *counter) {
+	cp := *c // want "assignment copies lock"
+	ch <- &cp
+	dch := make(chan counter)
+	dch <- *c // want "channel send copies lock"
+}
+
+func composite(c *counter) {
+	w := wrapper{inner: *c} // want "composite literal copies lock"
+	sink(&w)
+}
+
+func rangeValue(cs []counter) {
+	for _, c := range cs { // want "range value copies lock"
+		sink(&c)
+	}
+}
+
+func rangeIndex(cs []counter) {
+	for i := range cs { // ranging over indices copies nothing
+		sink(&cs[i])
+	}
+}
+
+func (c counter) read() int { // want "receiver passes lock by value"
+	return c.n
+}
+
+func param(c counter) { // want "parameter passes lock by value"
+	sink(&c)
+}
+
+var _ = func(c counter) { // want "parameter passes lock by value"
+	sink(&c)
+}
+
+func pointerOK(c *counter) *counter {
+	p := c // copying a pointer leaves lock identity intact
+	return p
+}
+
+func indexPointer(ps []*counter) *counter {
+	return ps[0] // IndexExpr of pointer type: fine
+}
+
+func fresh() *counter {
+	c := counter{} // a fresh composite literal has no lock state to fork
+	return &c
+}

@@ -1,0 +1,167 @@
+// Package ctxflow enforces the context discipline established in PR 2:
+//
+//  1. In any package: a function that already receives a context.Context
+//     (directly or from an enclosing function) must not mint a fresh root
+//     with context.Background() or context.TODO() — that silently detaches
+//     the callee from cancellation and the end-to-end budget chain.
+//  2. In internal/core (the scaling loops): an unbounded `for` loop must
+//     check the context somewhere in its body (ctx.Err(), <-ctx.Done(), or
+//     a ctx-taking call), so cancelled runs keep returning within one
+//     iteration.
+//
+// Deliberate detachments (e.g. a shutdown path that must outlive the
+// request context) are annotated `//lint:ctx-ok <reason>`.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"dualvdd/internal/analysis"
+	"dualvdd/internal/analysis/lintutil"
+)
+
+// LoopScope limits the unbounded-loop check to the scaling-loop packages.
+var LoopScope = regexp.MustCompile(`^dualvdd/internal/core$|/testdata/src/`)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "flags context.Background/TODO inside ctx-receiving functions, and unbounded internal/core loops with no ctx check",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	checkLoops := lintutil.InScope(LoopScope, pass)
+	for _, file := range pass.Files {
+		var funcs []*ast.FuncType // enclosing function chain, innermost last
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case nil:
+				return true
+			case *ast.FuncDecl:
+				funcs = append(funcs, n.Type)
+				walk(pass, n.Body, &funcs, checkLoops)
+				funcs = funcs[:len(funcs)-1]
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// walk visits a function body, tracking the enclosing function chain so
+// Background/TODO calls can see captured contexts.
+func walk(pass *analysis.Pass, body *ast.BlockStmt, funcs *[]*ast.FuncType, checkLoops bool) {
+	if body == nil {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			*funcs = append(*funcs, n.Type)
+			walk(pass, n.Body, funcs, checkLoops)
+			*funcs = (*funcs)[:len(*funcs)-1]
+			return false
+		case *ast.CallExpr:
+			checkFreshRoot(pass, n, *funcs)
+		case *ast.ForStmt:
+			if checkLoops && n.Cond == nil && !pass.InTestFile(n.Pos()) {
+				checkUnboundedLoop(pass, n)
+			}
+		}
+		return true
+	})
+}
+
+// checkFreshRoot reports context.Background()/TODO() when any enclosing
+// function already receives a context.
+func checkFreshRoot(pass *analysis.Pass, call *ast.CallExpr, funcs []*ast.FuncType) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "context" {
+		return
+	}
+	if obj.Name() != "Background" && obj.Name() != "TODO" {
+		return
+	}
+	if pass.InTestFile(call.Pos()) {
+		return
+	}
+	hasCtx := false
+	for _, ft := range funcs {
+		if lintutil.FuncHasCtxParam(pass.TypesInfo, ft) {
+			hasCtx = true
+			break
+		}
+	}
+	if !hasCtx {
+		return
+	}
+	if lintutil.Suppressed(pass, call.Pos(), "ctx-ok") {
+		return
+	}
+	pass.Reportf(call.Pos(), "context.%s() inside a function that already receives a ctx; pass the caller's context through, or annotate //lint:ctx-ok <reason>", obj.Name())
+}
+
+// checkUnboundedLoop reports `for { ... }` loops whose body never consults
+// a context.
+func checkUnboundedLoop(pass *analysis.Pass, loop *ast.ForStmt) {
+	found := false
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// ctx.Err(), ctx.Done(), or passing ctx onward counts: the
+			// callee is then responsible for honoring cancellation.
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if t := pass.TypesInfo.TypeOf(sel.X); t != nil && lintutil.IsContextType(t) {
+					found = true
+					return false
+				}
+				// The repo's canonical poll seam: Options.interrupted()
+				// returns ctx.Err() for the configured context.
+				if isInterruptedSeam(pass, sel) {
+					found = true
+					return false
+				}
+			}
+			for _, arg := range n.Args {
+				if t := pass.TypesInfo.TypeOf(arg); t != nil && lintutil.IsContextType(t) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	if found || lintutil.Suppressed(pass, loop.Pos(), "ctx-ok") {
+		return
+	}
+	pass.Reportf(loop.Pos(), "unbounded for loop without a context check; poll ctx.Err() (or select on ctx.Done()) so cancellation keeps the one-iteration latency contract, or annotate //lint:ctx-ok <reason>")
+}
+
+// isInterruptedSeam recognizes a call to a niladic error-returning method
+// named "interrupted" — the internal/core seam that surfaces ctx.Err()
+// without threading the context through every loop.
+func isInterruptedSeam(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	if sel.Sel.Name != "interrupted" {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+		return false
+	}
+	named, ok := types.Unalias(sig.Results().At(0).Type()).(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

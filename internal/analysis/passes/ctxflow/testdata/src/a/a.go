@@ -1,0 +1,88 @@
+// Package a exercises ctxflow: fresh context roots inside ctx-receiving
+// call chains, and unbounded loops without a cancellation check (the
+// /testdata/src/ path stands in for internal/core's loop scope).
+package a
+
+import "context"
+
+func fresh(ctx context.Context) context.Context {
+	return context.Background() // want `context.Background\(\) inside a function that already receives a ctx`
+}
+
+func freshInClosure(ctx context.Context) {
+	go func() {
+		_ = context.TODO() // want `context.TODO\(\) inside a function that already receives a ctx`
+	}()
+}
+
+func noCtxAnywhere() context.Context {
+	return context.Background() // no ctx in the chain: minting a root is fine
+}
+
+func ctxOnlyInClosure() {
+	// The closure's own ctx parameter doesn't put a ctx in scope at the
+	// call site outside it.
+	f := func(ctx context.Context) error { return ctx.Err() }
+	_ = f(context.Background())
+}
+
+func detach(ctx context.Context) context.Context {
+	//lint:ctx-ok the shutdown path must outlive the request context
+	return context.Background()
+}
+
+func loopNoCheck(ctx context.Context) {
+	for { // want "unbounded for loop without a context check"
+		work()
+	}
+}
+
+func loopPollsErr(ctx context.Context) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		work()
+	}
+}
+
+func loopSelectsDone(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+			work()
+		}
+	}
+}
+
+func loopPassesCtx(ctx context.Context) {
+	for {
+		step(ctx)
+	}
+}
+
+type options struct{}
+
+func (options) interrupted() error { return nil }
+
+func loopSeam(o options) error {
+	for {
+		if err := o.interrupted(); err != nil {
+			return err
+		}
+		work()
+	}
+}
+
+func loopBounded(n int) int {
+	total := 0
+	for i := 0; i < n; i++ { // bounded: has a condition
+		total += i
+	}
+	return total
+}
+
+func work()                {}
+func step(context.Context) {}

@@ -1,0 +1,120 @@
+// Package detrange flags `range` over a map in determinism-critical
+// packages. Map iteration order is randomized per run, so any map range
+// whose body is order-sensitive can silently break the bit-identical
+// results contract (TestBatchDeterminismAcrossWorkers and the sweep/warm
+// differentials catch it only after the fact).
+//
+// Allowed without annotation:
+//   - `for range m` / `for _ = range m`: no iteration-order data flows.
+//   - the canonical sort-first idiom, a body that only collects keys:
+//     `for k := range m { keys = append(keys, k) }` (the subsequent sort
+//     re-establishes a deterministic order).
+//
+// Anything else needs `//lint:nondeterministic-ok <reason>` on or above the
+// range line.
+package detrange
+
+import (
+	"go/ast"
+	"go/types"
+
+	"dualvdd/internal/analysis"
+	"dualvdd/internal/analysis/lintutil"
+)
+
+// Scope limits the analyzer to determinism-critical import paths. Tests
+// may override it; the default is the project's critical set.
+var Scope = lintutil.Critical
+
+var Analyzer = &analysis.Analyzer{
+	Name: "detrange",
+	Doc:  "flags map iteration in determinism-critical packages unless keys are sorted first or the site is annotated //lint:nondeterministic-ok <reason>",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !lintutil.InScope(Scope, pass) {
+		return nil
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if pass.InTestFile(rs.Pos()) {
+			return false
+		}
+		tv, ok := pass.TypesInfo.Types[rs.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if ignoresOrder(rs) || collectsKeysOnly(pass, rs) {
+			return true
+		}
+		if lintutil.Suppressed(pass, rs.Pos(), "nondeterministic-ok") {
+			return true
+		}
+		pass.Reportf(rs.Pos(), "range over map %s in determinism-critical package; collect and sort the keys first, or annotate //lint:nondeterministic-ok <reason>", render(rs.X))
+		return true
+	})
+	return nil
+}
+
+// ignoresOrder reports whether the range binds neither key nor value, so no
+// iteration-order-dependent data can flow into the body.
+func ignoresOrder(rs *ast.RangeStmt) bool {
+	return isBlank(rs.Key) && isBlank(rs.Value)
+}
+
+func isBlank(e ast.Expr) bool {
+	if e == nil {
+		return true
+	}
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// collectsKeysOnly recognizes the sort-first idiom: the body is exactly one
+// statement appending the range key to a slice, with the value unused.
+func collectsKeysOnly(pass *analysis.Pass, rs *ast.RangeStmt) bool {
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" || !isBlank(rs.Value) {
+		return false
+	}
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	assign, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return false
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" || len(call.Args) != 2 {
+		return false
+	}
+	arg, ok := call.Args[1].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	keyObj := pass.TypesInfo.Defs[key]
+	return keyObj != nil && pass.TypesInfo.Uses[arg] == keyObj
+}
+
+func render(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return render(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return render(e.Fun) + "(...)"
+	}
+	return "expression"
+}

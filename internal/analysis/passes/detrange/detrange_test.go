@@ -1,0 +1,12 @@
+package detrange_test
+
+import (
+	"testing"
+
+	"dualvdd/internal/analysis/analysistest"
+	"dualvdd/internal/analysis/passes/detrange"
+)
+
+func TestDetrange(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), detrange.Analyzer, "a")
+}

@@ -1,0 +1,55 @@
+// Package a exercises detrange. The /testdata/src/ path is inside the
+// determinism-critical scope, so map ranges here must ignore iteration
+// order, collect-and-sort keys, or carry //lint:nondeterministic-ok.
+package a
+
+import "sort"
+
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want "range over map m in determinism-critical package"
+		total += v
+	}
+	return total
+}
+
+func decorateKeys(m map[string]int, out []string) []string {
+	for k := range m { // want "range over map m"
+		out = append(out, k+"!")
+	}
+	return out
+}
+
+func sortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+func annotated(m map[string]int) int {
+	total := 0
+	//lint:nondeterministic-ok addition is commutative; order cannot leak
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func sliceRange(xs []int) int {
+	total := 0
+	for _, v := range xs { // slices iterate in order; not a map
+		total += v
+	}
+	return total
+}

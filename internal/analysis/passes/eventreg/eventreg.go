@@ -1,0 +1,150 @@
+// Package eventreg checks that every concrete type implementing the Event
+// interface is registered in the envelope codec: it must appear in a case
+// of the EventKind type switch (which drives MarshalEvent) and be
+// constructed inside UnmarshalEvent (the decode switch). A forgotten
+// registration is a silent wire break — the new event round-trips as an
+// "unknown envelope" error only once it reaches a peer, which the pinned
+// encoding tests catch only if someone remembers to add one.
+//
+// The analyzer activates in any package that declares
+// `type Event interface { isEvent() }` alongside an EventKind function, so
+// its own testdata packages exercise the same logic as the real codec in
+// events_json.go.
+package eventreg
+
+import (
+	"go/ast"
+	"go/types"
+
+	"dualvdd/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "eventreg",
+	Doc:  "every concrete Event implementation must be registered in the EventKind and UnmarshalEvent envelope codec switches",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	scope := pass.Pkg.Scope()
+
+	iface := eventInterface(scope)
+	if iface == nil {
+		return nil
+	}
+	kindFn := findFunc(pass, "EventKind")
+	if kindFn == nil {
+		return nil // not a codec package
+	}
+	unmarshalFn := findFunc(pass, "UnmarshalEvent")
+
+	// All concrete named types in the package that implement Event.
+	var impls []*types.TypeName
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		t := tn.Type()
+		if types.IsInterface(t) {
+			continue
+		}
+		if pass.InTestFile(tn.Pos()) {
+			continue // test-only fakes aren't wire events
+		}
+		if types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface) {
+			impls = append(impls, tn)
+		}
+	}
+
+	kindCases := typeSwitchCases(pass, kindFn)
+	var unmarshalRefs map[types.Object]bool
+	if unmarshalFn != nil {
+		unmarshalRefs = referencedTypes(pass, unmarshalFn)
+	}
+
+	for _, tn := range impls {
+		if !kindCases[tn] {
+			pass.Reportf(tn.Pos(), "event type %s implements Event but has no case in the EventKind type switch; wire breaks silently — register it in the envelope codec", tn.Name())
+			continue
+		}
+		if unmarshalFn == nil {
+			pass.Reportf(tn.Pos(), "event type %s is registered in EventKind but the package has no UnmarshalEvent; decoding peers cannot round-trip it", tn.Name())
+			continue
+		}
+		if !unmarshalRefs[tn] {
+			pass.Reportf(tn.Pos(), "event type %s implements Event but is never constructed in UnmarshalEvent; peers cannot decode its envelope", tn.Name())
+		}
+	}
+	return nil
+}
+
+// eventInterface returns the package's Event interface type, if the
+// package declares one with an unexported method (the sealed-interface
+// marker), else nil.
+func eventInterface(scope *types.Scope) *types.Interface {
+	tn, ok := scope.Lookup("Event").(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	iface, ok := tn.Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < iface.NumMethods(); i++ {
+		if !iface.Method(i).Exported() {
+			return iface
+		}
+	}
+	return nil
+}
+
+func findFunc(pass *analysis.Pass, name string) *ast.FuncDecl {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Recv == nil && fd.Name.Name == name {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// typeSwitchCases collects the named types appearing (possibly behind a
+// pointer) as type-switch case clauses anywhere in fn.
+func typeSwitchCases(pass *analysis.Pass, fn *ast.FuncDecl) map[*types.TypeName]bool {
+	out := make(map[*types.TypeName]bool)
+	ast.Inspect(fn, func(n ast.Node) bool {
+		cc, ok := n.(*ast.CaseClause)
+		if !ok {
+			return true
+		}
+		for _, expr := range cc.List {
+			if star, ok := expr.(*ast.StarExpr); ok {
+				expr = star.X
+			}
+			t := pass.TypesInfo.TypeOf(expr)
+			if named, ok := types.Unalias(t).(*types.Named); ok {
+				out[named.Obj()] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// referencedTypes collects every package-level type object mentioned in fn.
+func referencedTypes(pass *analysis.Pass, fn *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(fn, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj, ok := pass.TypesInfo.Uses[id].(*types.TypeName); ok {
+			out[obj] = true
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,12 @@
+package eventreg_test
+
+import (
+	"testing"
+
+	"dualvdd/internal/analysis/analysistest"
+	"dualvdd/internal/analysis/passes/eventreg"
+)
+
+func TestEventreg(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), eventreg.Analyzer, "a", "b")
+}

@@ -1,0 +1,48 @@
+// Package a exercises eventreg: a sealed Event interface with an
+// EventKind/UnmarshalEvent codec pair, with two registration gaps.
+package a
+
+// Event is the sealed envelope interface.
+type Event interface{ isEvent() }
+
+// EventGood is fully registered: kind switch and decode switch.
+type EventGood struct{ N int }
+
+// EventPtr is registered through its pointer form.
+type EventPtr struct{ S string }
+
+type EventNoKind struct{} // want "event type EventNoKind implements Event but has no case in the EventKind type switch"
+
+type EventNoDecode struct{} // want "event type EventNoDecode implements Event but is never constructed in UnmarshalEvent"
+
+func (EventGood) isEvent()     {}
+func (*EventPtr) isEvent()     {}
+func (EventNoKind) isEvent()   {}
+func (EventNoDecode) isEvent() {}
+
+// NotAnEvent does not implement Event and is ignored.
+type NotAnEvent struct{}
+
+// EventKind drives the encode switch.
+func EventKind(e Event) string {
+	switch e.(type) {
+	case EventGood:
+		return "good"
+	case *EventPtr:
+		return "ptr"
+	case EventNoDecode:
+		return "nodecode"
+	}
+	return ""
+}
+
+// UnmarshalEvent drives the decode switch.
+func UnmarshalEvent(kind string) (Event, error) {
+	switch kind {
+	case "good":
+		return EventGood{}, nil
+	case "ptr":
+		return &EventPtr{}, nil
+	}
+	return nil, nil
+}

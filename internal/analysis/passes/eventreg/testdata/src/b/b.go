@@ -1,0 +1,17 @@
+// Package b declares a codec with an EventKind switch but no
+// UnmarshalEvent at all, so even registered kinds cannot round-trip.
+package b
+
+type Event interface{ isEvent() }
+
+type EventOnly struct{} // want "registered in EventKind but the package has no UnmarshalEvent"
+
+func (EventOnly) isEvent() {}
+
+func EventKind(e Event) string {
+	switch e.(type) {
+	case EventOnly:
+		return "only"
+	}
+	return ""
+}

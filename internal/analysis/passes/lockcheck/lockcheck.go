@@ -1,0 +1,220 @@
+// Package lockcheck machine-checks the repo's mutex-discipline comments.
+// A struct field annotated
+//
+//	foo int // guarded by mu
+//
+// may only be accessed (read or written) through a selector inside a
+// function that either contains a `<...>.mu.Lock()` / `RLock()` call, or is
+// itself documented `// caller holds mu`. One-off deliberate exceptions
+// (e.g. reads that are racy-by-design diagnostics) carry
+// `//lint:unguarded-ok <reason>` on the access line; a function whose doc
+// comment carries the directive is exempt in full (the idiom for
+// construction paths that fill guarded state before the value is shared).
+//
+// This is a convention checker, not a race detector: it proves every
+// access site is *claimed* to be protected, leaving -race to catch claims
+// that are wrong. It is deliberately per-function and name-based — the
+// same granularity the comments themselves use.
+package lockcheck
+
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+
+	"dualvdd/internal/analysis"
+	"dualvdd/internal/analysis/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockcheck",
+	Doc:  "fields annotated '// guarded by <mu>' may only be accessed holding <mu> or inside functions documented '// caller holds <mu>'",
+	Run:  run,
+}
+
+var (
+	guardedRe     = regexp.MustCompile(`guarded by (\w+(?:\.\w+)*)`)
+	callerHoldsRe = regexp.MustCompile(`caller holds (\w+(?:\.\w+)*)`)
+	suppressRe    = regexp.MustCompile(`lint:unguarded-ok \S+`)
+)
+
+func run(pass *analysis.Pass) error {
+	guards := annotatedFields(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			var docs []string
+			if fd.Doc != nil {
+				// Text() strips directive comments (//lint:...), so keep the
+				// raw lines alongside it for the suppression scan.
+				docs = append(docs, fd.Doc.Text())
+				for _, cm := range fd.Doc.List {
+					docs = append(docs, cm.Text)
+				}
+			}
+			checkFunc(pass, guards, fd.Body, []frame{newFrame(pass, fd.Body, docs)})
+		}
+	}
+	return nil
+}
+
+// frame is one function on the enclosing-function chain: the guard names
+// it holds (by locking or by documented contract). all marks a function-
+// level `//lint:unguarded-ok` exemption covering every guard.
+type frame struct {
+	holds map[string]bool
+	all   bool
+}
+
+func newFrame(pass *analysis.Pass, body *ast.BlockStmt, docs []string) frame {
+	holds := make(map[string]bool)
+	all := false
+	for _, doc := range docs {
+		if suppressRe.MatchString(doc) {
+			all = true
+		}
+	}
+	// A Lock/RLock call anywhere in the body (including deferred unlock
+	// idioms) counts as holding that name for the whole function; -race
+	// remains the arbiter of whether the critical section is placed right.
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		holds[finalName(sel.X)] = true
+		return true
+	})
+	for _, doc := range docs {
+		for _, m := range callerHoldsRe.FindAllStringSubmatch(doc, -1) {
+			holds[lastComponent(m[1])] = true
+		}
+	}
+	return frame{holds: holds, all: all}
+}
+
+// checkFunc walks body reporting unguarded accesses; frames is the
+// enclosing chain, innermost last.
+func checkFunc(pass *analysis.Pass, guards map[*ast.Ident]string, body *ast.BlockStmt, frames []frame) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			docs := []string{lintutil.CommentAbove(pass, n.Pos())}
+			checkFunc(pass, guards, n.Body, append(frames, newFrame(pass, n.Body, docs)))
+			return false
+		case *ast.SelectorExpr:
+			checkAccess(pass, guards, n, frames)
+		}
+		return true
+	})
+}
+
+func checkAccess(pass *analysis.Pass, guards map[*ast.Ident]string, sel *ast.SelectorExpr, frames []frame) {
+	selObj := pass.TypesInfo.Uses[sel.Sel]
+	if selObj == nil {
+		return
+	}
+	guard := ""
+	found := false
+	for decl, g := range guards {
+		if pass.TypesInfo.Defs[decl] == selObj {
+			guard, found = g, true
+			break
+		}
+	}
+	if !found || pass.InTestFile(sel.Pos()) {
+		return
+	}
+	for _, fr := range frames {
+		if fr.holds[guard] || fr.all {
+			return
+		}
+	}
+	if lintutil.Suppressed(pass, sel.Pos(), "unguarded-ok") {
+		return
+	}
+	pass.Reportf(sel.Pos(), "access to %s (guarded by %s) without holding %s; lock it, document '// caller holds %s', or annotate //lint:unguarded-ok <reason>", sel.Sel.Name, guard, guard, guard)
+}
+
+// annotatedFields maps each struct-field name Ident carrying a
+// `// guarded by <mu>` comment to its guard's final name component. The
+// guard must resolve to a sibling field of mutex type — prose like
+// "(guarded by candOK)" describing a validity bitmask is not a lock
+// contract and is ignored.
+func annotatedFields(pass *analysis.Pass) map[*ast.Ident]string {
+	out := make(map[*ast.Ident]string)
+	pass.Inspect(func(n ast.Node) bool {
+		st, ok := n.(*ast.StructType)
+		if !ok {
+			return true
+		}
+		for _, field := range st.Fields.List {
+			text := ""
+			if field.Doc != nil {
+				text += field.Doc.Text()
+			}
+			if field.Comment != nil {
+				text += "\n" + field.Comment.Text()
+			}
+			m := guardedRe.FindStringSubmatch(text)
+			if m == nil {
+				continue
+			}
+			guard := lastComponent(m[1])
+			if !mutexSibling(pass, st, guard) {
+				continue
+			}
+			for _, name := range field.Names {
+				out[name] = guard
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// mutexSibling reports whether the struct has a field named guard whose
+// type is (or embeds) a sync mutex. A guard declared on an outer struct
+// cannot be resolved here, so an unresolvable name is rejected rather than
+// trusted — annotate the outer field instead.
+func mutexSibling(pass *analysis.Pass, st *ast.StructType, guard string) bool {
+	for _, field := range st.Fields.List {
+		for _, name := range field.Names {
+			if name.Name != guard {
+				continue
+			}
+			t := pass.TypesInfo.TypeOf(field.Type)
+			return t != nil && lintutil.ContainsLock(t)
+		}
+	}
+	return false
+}
+
+func finalName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	case *ast.ParenExpr:
+		return finalName(e.X)
+	}
+	return ""
+}
+
+func lastComponent(path string) string {
+	if i := strings.LastIndex(path, "."); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

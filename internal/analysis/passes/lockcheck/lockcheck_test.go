@@ -1,0 +1,12 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"dualvdd/internal/analysis/analysistest"
+	"dualvdd/internal/analysis/passes/lockcheck"
+)
+
+func TestLockcheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockcheck.Analyzer, "a")
+}

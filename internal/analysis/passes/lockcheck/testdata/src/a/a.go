@@ -1,0 +1,53 @@
+// Package a exercises lockcheck's guarded-field convention: fields
+// annotated `// guarded by <mu>` may only be touched while holding the
+// lock, under a `// caller holds <mu>` contract, or behind an
+// //lint:unguarded-ok exemption.
+package a
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+	ok bool
+	v  int // a validity bit (guarded by ok); ok is not a mutex, so no contract
+}
+
+func (c *counter) bad() int {
+	return c.n // want `access to n \(guarded by mu\) without holding mu`
+}
+
+func (c *counter) badWrite(v int) {
+	c.n = v // want `access to n \(guarded by mu\)`
+}
+
+func (c *counter) locked() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// contract reads n under the caller's lock; caller holds c.mu.
+func (c *counter) contract() int { return c.n }
+
+func (c *counter) prose() int {
+	return c.v // "guarded by ok" resolves to no mutex sibling; not a contract
+}
+
+//lint:unguarded-ok construction: the counter is not shared until build returns
+func build() *counter {
+	c := &counter{}
+	c.n = 7
+	return c
+}
+
+func (c *counter) racy() int {
+	return c.n //lint:unguarded-ok racy-by-design diagnostics read
+}
+
+func (c *counter) closure() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	bump := func() { c.n++ } // the enclosing frame holds mu
+	bump()
+}

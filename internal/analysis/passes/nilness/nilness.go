@@ -1,0 +1,206 @@
+// Package nilness is a deliberately conservative intraprocedural nil-deref
+// check: inside a branch that is only reachable when x == nil (the body of
+// `if x == nil`, or the else of `if x != nil`), it flags operations that
+// are guaranteed to panic — dereferencing *x, selecting a field through the
+// nil pointer, calling the nil function value, indexing the nil slice, or
+// writing to the nil map.
+//
+// Method calls are *not* flagged (nil receivers can be valid), and any
+// branch that reassigns x is skipped entirely, so every report is a real
+// panic-on-this-path.
+package nilness
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"dualvdd/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "nilness",
+	Doc:  "flags guaranteed nil dereferences inside branches dominated by an x == nil test",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		ifStmt, ok := n.(*ast.IfStmt)
+		if !ok || pass.InTestFile(ifStmt.Pos()) {
+			return true
+		}
+		x, eq := nilComparison(pass, ifStmt.Cond)
+		if x == nil {
+			return true
+		}
+		var branch ast.Stmt
+		if eq {
+			branch = ifStmt.Body
+		} else if ifStmt.Else != nil {
+			if _, isIf := ifStmt.Else.(*ast.IfStmt); !isIf {
+				branch = ifStmt.Else
+			}
+		}
+		if branch == nil || assignsTo(pass, branch, x) {
+			return true
+		}
+		checkBranch(pass, branch, x)
+		return true
+	})
+	return nil
+}
+
+// nilComparison matches `expr == nil` / `expr != nil` where expr is a
+// stable ident or selector chain; it returns the expression and whether the
+// comparison was ==.
+func nilComparison(pass *analysis.Pass, cond ast.Expr) (ast.Expr, bool) {
+	bin, ok := cond.(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+		return nil, false
+	}
+	x, y := bin.X, bin.Y
+	if isNil(pass, x) {
+		x, y = y, x
+	}
+	if !isNil(pass, y) || !stableExpr(x) {
+		return nil, false
+	}
+	return x, bin.Op == token.EQL
+}
+
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.IsNil()
+}
+
+// stableExpr limits tracking to plain identifiers and selector chains —
+// expressions whose value cannot change without a visible assignment.
+func stableExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name != "_"
+	case *ast.SelectorExpr:
+		return stableExpr(e.X)
+	}
+	return false
+}
+
+// assignsTo reports whether any statement in branch assigns to x or to its
+// root identifier (which would invalidate the nil fact).
+func assignsTo(pass *analysis.Pass, branch ast.Stmt, x ast.Expr) bool {
+	root := rootName(x)
+	found := false
+	ast.Inspect(branch, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if _, isIndex := lhs.(*ast.IndexExpr); isIndex {
+					continue // writing an element does not reassign the variable
+				}
+				if rootName(lhs) == root {
+					found = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND && rootName(n.X) == root {
+				found = true // address taken; anything could write it
+			}
+		case *ast.IncDecStmt:
+			if rootName(n.X) == root {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func rootName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return rootName(e.X)
+	case *ast.ParenExpr:
+		return rootName(e.X)
+	case *ast.StarExpr:
+		return rootName(e.X)
+	case *ast.IndexExpr:
+		return rootName(e.X)
+	}
+	return ""
+}
+
+// checkBranch reports guaranteed panics on uses of the known-nil x.
+func checkBranch(pass *analysis.Pass, branch ast.Stmt, x ast.Expr) {
+	t := pass.TypesInfo.TypeOf(x)
+	if t == nil {
+		return
+	}
+	ast.Inspect(branch, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // may run after x is reassigned elsewhere
+		}
+		switch n := n.(type) {
+		case *ast.StarExpr:
+			if sameExpr(n.X, x) && isPointer(t) {
+				pass.Reportf(n.Pos(), "nil dereference: %s is nil on this path", render(x))
+			}
+		case *ast.SelectorExpr:
+			if sameExpr(n.X, x) && isPointer(t) && isFieldSelection(pass, n) {
+				pass.Reportf(n.Pos(), "nil dereference: field access through nil pointer %s", render(x))
+			}
+		case *ast.CallExpr:
+			if sameExpr(n.Fun, x) && isFunc(t) {
+				pass.Reportf(n.Pos(), "nil dereference: call of nil function %s", render(x))
+			}
+		case *ast.IndexExpr:
+			if sameExpr(n.X, x) && isSlice(t) {
+				pass.Reportf(n.Pos(), "nil dereference: index of nil slice %s", render(x))
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if idx, ok := lhs.(*ast.IndexExpr); ok && sameExpr(idx.X, x) && isMap(t) {
+					pass.Reportf(idx.Pos(), "nil dereference: write to nil map %s", render(x))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// sameExpr reports structural equality of two ident/selector chains.
+func sameExpr(a, b ast.Expr) bool {
+	switch a := a.(type) {
+	case *ast.Ident:
+		bi, ok := b.(*ast.Ident)
+		return ok && a.Name == bi.Name
+	case *ast.SelectorExpr:
+		bs, ok := b.(*ast.SelectorExpr)
+		return ok && a.Sel.Name == bs.Sel.Name && sameExpr(a.X, bs.X)
+	case *ast.ParenExpr:
+		return sameExpr(a.X, b)
+	}
+	return false
+}
+
+func isFieldSelection(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	s, ok := pass.TypesInfo.Selections[sel]
+	return ok && s.Kind() == types.FieldVal
+}
+
+func isPointer(t types.Type) bool { _, ok := t.Underlying().(*types.Pointer); return ok }
+func isFunc(t types.Type) bool    { _, ok := t.Underlying().(*types.Signature); return ok }
+func isSlice(t types.Type) bool   { _, ok := t.Underlying().(*types.Slice); return ok }
+func isMap(t types.Type) bool     { _, ok := t.Underlying().(*types.Map); return ok }
+
+func render(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return render(e.X) + "." + e.Sel.Name
+	}
+	return "expression"
+}

@@ -1,0 +1,12 @@
+package nilness_test
+
+import (
+	"testing"
+
+	"dualvdd/internal/analysis/analysistest"
+	"dualvdd/internal/analysis/passes/nilness"
+)
+
+func TestNilness(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), nilness.Analyzer, "a")
+}

@@ -1,0 +1,88 @@
+// Package a exercises nilness: operations guaranteed to panic inside a
+// branch dominated by an x == nil test.
+package a
+
+type node struct {
+	next *node
+	n    int
+}
+
+func deref(p *int) int {
+	if p == nil {
+		return *p // want "nil dereference: p is nil on this path"
+	}
+	return *p
+}
+
+func field(n *node) int {
+	if n == nil {
+		return n.n // want "field access through nil pointer n"
+	}
+	return n.n
+}
+
+func elseBranch(f func() int) int {
+	if f != nil {
+		return f()
+	} else {
+		return f() // want "call of nil function f"
+	}
+}
+
+func index(xs []int) int {
+	if xs == nil {
+		return xs[0] // want "index of nil slice xs"
+	}
+	return xs[0]
+}
+
+func mapWrite(m map[string]int) {
+	if m == nil {
+		m["k"] = 1 // want "write to nil map m"
+	}
+}
+
+func selectorChain(n *node) int {
+	if n.next == nil {
+		return n.next.n // want "field access through nil pointer n.next"
+	}
+	return n.next.n
+}
+
+func reassigned(p *int) int {
+	if p == nil {
+		p = new(int)
+		return *p // the branch reassigns p; nothing is guaranteed nil
+	}
+	return *p
+}
+
+func viaClosure(p *int) func() int {
+	if p == nil {
+		return func() int { return *p } // may run after p is reassigned
+	}
+	return func() int { return *p }
+}
+
+func elseIf(p *int, q *int) int {
+	if p != nil {
+		return *p
+	} else if q != nil {
+		return *q // else-if chains are not treated as nil-dominated
+	}
+	return 0
+}
+
+func methodOnNil(n *node) int {
+	if n == nil {
+		return n.depth() // method calls can accept nil receivers
+	}
+	return n.depth()
+}
+
+func (n *node) depth() int {
+	if n == nil {
+		return 0
+	}
+	return 1 + n.next.depth()
+}

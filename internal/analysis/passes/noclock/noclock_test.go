@@ -1,0 +1,12 @@
+package noclock_test
+
+import (
+	"testing"
+
+	"dualvdd/internal/analysis/analysistest"
+	"dualvdd/internal/analysis/passes/noclock"
+)
+
+func TestNoclock(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), noclock.Analyzer, "a")
+}

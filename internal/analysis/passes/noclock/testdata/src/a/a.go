@@ -1,0 +1,33 @@
+// Package a exercises noclock inside the determinism-critical scope:
+// wall-clock reads and math/rand are flagged; time arithmetic and
+// formatting of supplied times are not.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() time.Time {
+	return time.Now() // want "wall-clock read time.Now in determinism-critical package"
+}
+
+func timer() *time.Timer {
+	return time.NewTimer(time.Second) // want "wall-clock read time.NewTimer"
+}
+
+func roll() int {
+	return rand.Intn(6) // want "math/rand.Intn in determinism-critical package"
+}
+
+func durationMath(d time.Duration) time.Duration {
+	return 2 * d // Duration arithmetic never reads the clock
+}
+
+func format(t time.Time) string {
+	return t.Format(time.RFC3339) // formatting a supplied time is fine
+}
+
+func metric() time.Time {
+	return time.Now() //lint:wallclock-ok timing metric only; never feeds results
+}

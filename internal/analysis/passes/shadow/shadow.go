@@ -1,0 +1,183 @@
+// Package shadow flags variable declarations that shadow an
+// identically-typed variable from an enclosing function scope when the
+// outer variable is still used after the inner scope ends — the pattern
+// where a `:=` in a block quietly captures an update that the code below
+// expects to observe (the classic ctx/err re-declaration bug).
+//
+// To stay signal-dense it deliberately skips the idiomatic narrow shadows:
+// declarations in if/for/switch/select init position (scoped to the
+// statement), function and closure parameters, shadows that cross a
+// function-literal boundary (an accidental := there that drops a captured
+// write leaves the inner variable unused, which the compiler already
+// rejects), and shadows whose outer variable is never read afterwards.
+// Deliberate shadows carry `//lint:shadow-ok <reason>`.
+package shadow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"dualvdd/internal/analysis"
+	"dualvdd/internal/analysis/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "shadow",
+	Doc:  "flags inner declarations shadowing a same-typed outer variable that is still used after the inner scope ends",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Uses of each object, for the "outer still used later" heuristic.
+	lastUse := make(map[types.Object]token.Pos)
+	for id, obj := range pass.TypesInfo.Uses {
+		if pos := id.Pos(); pos > lastUse[obj] {
+			lastUse[obj] = pos
+		}
+	}
+
+	initDecls := initPositionDecls(pass)
+	blockDecls := blockDeclIdents(pass)
+	funcScopes := functionScopes(pass)
+
+	for id, obj := range pass.TypesInfo.Defs {
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() || pass.InTestFile(id.Pos()) {
+			continue
+		}
+		scope := v.Parent()
+		if scope == nil || scope == pass.Pkg.Scope() {
+			continue
+		}
+		if initDecls[id] || !blockDecls[id] {
+			continue
+		}
+		// Find a shadowed binding of the same name in an enclosing
+		// function-local scope.
+		outerScope, outer := scope.Parent().LookupParent(v.Name(), id.Pos())
+		if outer == nil || outerScope == pass.Pkg.Scope() || outerScope == types.Universe {
+			continue
+		}
+		ov, ok := outer.(*types.Var)
+		if !ok || ov.IsField() {
+			continue
+		}
+		if !types.Identical(v.Type(), ov.Type()) {
+			continue
+		}
+		if outer.Pos() >= id.Pos() {
+			continue
+		}
+		if crossesFunction(scope, outerScope, funcScopes) {
+			continue
+		}
+		// Only a bug if code after the inner scope still reads the outer
+		// variable — otherwise the shadow can't swallow an update.
+		if lastUse[outer] <= scope.End() {
+			continue
+		}
+		if lintutil.Suppressed(pass, id.Pos(), "shadow-ok") {
+			continue
+		}
+		outerPos := pass.Fset.Position(outer.Pos())
+		pass.Reportf(id.Pos(), "declaration of %q shadows declaration at line %d; the outer %s is read after this block, so updates made here are silently dropped — rename one, or annotate //lint:shadow-ok <reason>", v.Name(), outerPos.Line, v.Name())
+	}
+	return nil
+}
+
+// blockDeclIdents returns the Idents declared by := assignments and var
+// specs — the only declaration forms shadow considers (parameters, range
+// variables, and type-switch bindings are idiomatic shadows).
+func blockDeclIdents(pass *analysis.Pass) map[*ast.Ident]bool {
+	out := make(map[*ast.Ident]bool)
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				for _, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						out[id] = true
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for _, id := range n.Names {
+				out[id] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// functionScopes returns the scopes introduced by function types (i.e.
+// function and closure bodies' top-level scopes).
+func functionScopes(pass *analysis.Pass) map[*types.Scope]bool {
+	out := make(map[*types.Scope]bool)
+	for node, scope := range pass.TypesInfo.Scopes {
+		if _, ok := node.(*ast.FuncType); ok {
+			out[scope] = true
+		}
+	}
+	return out
+}
+
+// crossesFunction reports whether walking from inner up to outer (exclusive)
+// passes a function boundary.
+func crossesFunction(inner, outer *types.Scope, funcScopes map[*types.Scope]bool) bool {
+	for s := inner; s != nil && s != outer; s = s.Parent() {
+		if funcScopes[s] {
+			return true
+		}
+	}
+	return false
+}
+
+// initPositionDecls returns the Idents declared in if/for/switch/select
+// init statements (and type-switch assigns), which scope to the statement
+// and are idiomatic shadows.
+func initPositionDecls(pass *analysis.Pass) map[*ast.Ident]bool {
+	out := make(map[*ast.Ident]bool)
+	mark := func(s ast.Stmt) {
+		assign, ok := s.(*ast.AssignStmt)
+		if !ok {
+			return
+		}
+		for _, lhs := range assign.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				out[id] = true
+			}
+		}
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			if n.Init != nil {
+				mark(n.Init)
+			}
+		case *ast.ForStmt:
+			if n.Init != nil {
+				mark(n.Init)
+			}
+		case *ast.SwitchStmt:
+			if n.Init != nil {
+				mark(n.Init)
+			}
+		case *ast.TypeSwitchStmt:
+			if n.Init != nil {
+				mark(n.Init)
+			}
+			mark(n.Assign)
+		case *ast.RangeStmt:
+			if id, ok := n.Key.(*ast.Ident); ok {
+				out[id] = true
+			}
+			if id, ok := n.Value.(*ast.Ident); ok {
+				out[id] = true
+			}
+		}
+		return true
+	})
+	return out
+}

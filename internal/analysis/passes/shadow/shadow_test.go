@@ -1,0 +1,12 @@
+package shadow_test
+
+import (
+	"testing"
+
+	"dualvdd/internal/analysis/analysistest"
+	"dualvdd/internal/analysis/passes/shadow"
+)
+
+func TestShadow(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), shadow.Analyzer, "a")
+}

@@ -1,0 +1,62 @@
+// Package a exercises shadow: an inner := redeclaring a same-typed
+// outer variable that is still read after the block.
+package a
+
+import "errors"
+
+func compute() (int, error) { return 1, nil }
+
+func bad() error {
+	n, err := compute()
+	if n > 0 {
+		err := errors.New("inner") // want `declaration of "err" shadows declaration at line 10`
+		_ = err
+	}
+	return err
+}
+
+func initPosition() error {
+	_, err := compute()
+	if _, err := compute(); err != nil { // if-init shadows are idiomatic
+		return err
+	}
+	return err
+}
+
+func outerNotReadAfter() {
+	_, err := compute()
+	_ = err
+	{
+		err := errors.New("replaced")
+		_ = err
+	}
+}
+
+func crossClosure() error {
+	_, err := compute()
+	f := func() {
+		err := errors.New("local") // a := here can't swallow a captured write
+		_ = err
+	}
+	f()
+	return err
+}
+
+func differentType() int {
+	n, err := compute()
+	if err != nil {
+		n := "not the same type"
+		_ = n
+	}
+	return n
+}
+
+func deliberate() error {
+	_, err := compute()
+	if err != nil {
+		//lint:shadow-ok probing with a scratch err is the point here
+		err := errors.New("scratch")
+		_ = err
+	}
+	return err
+}

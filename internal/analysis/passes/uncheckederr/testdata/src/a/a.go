@@ -1,0 +1,52 @@
+// Package a exercises uncheckederr: dropped error results in expression,
+// go, and defer statements, minus the shared exclusion list and
+// //lint:unchecked-ok sites.
+package a
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+)
+
+func apply() error { return errors.New("boom") }
+
+func dropped() {
+	apply() // want `error result of .*a\.apply is dropped`
+}
+
+func goStmt() {
+	go apply() // want "is dropped"
+}
+
+func deferStmt() {
+	defer apply() // want "is dropped"
+}
+
+func handled() error {
+	if err := apply(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func excludedFprintln() {
+	fmt.Fprintln(os.Stderr, "status") // fmt.Fprintln is on the exclusion list
+}
+
+func promotedHashWrite() uint64 {
+	h := fnv.New64a()
+	// Write is promoted from io.Writer, but the exclusion matches the
+	// receiver's static type: (hash.Hash64).Write.
+	h.Write([]byte("x"))
+	return h.Sum64()
+}
+
+func fileClose(f *os.File) {
+	defer f.Close() // (*os.File).Close is on the exclusion list
+}
+
+func suppressed() {
+	apply() //lint:unchecked-ok best-effort cleanup; failure only repeats work
+}

@@ -1,0 +1,178 @@
+// Package uncheckederr flags statements that call a function returning an
+// error and drop the result on the floor — expression statements, `go`, and
+// `defer` whose callee's last result is error. It mirrors the repo's CI
+// errcheck run (-ignoretests -exclude .errcheck-excludes) closely enough to
+// run offline in dualvdd-lint: test files are skipped and the same
+// deliberately-unchecked symbols are excluded.
+//
+// Excluded mirrors .errcheck-excludes at the repo root; keep the two lists
+// in sync when adding or trimming entries. One-off sites can carry
+// `//lint:unchecked-ok <reason>` instead of a global exclusion.
+package uncheckederr
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"dualvdd/internal/analysis"
+	"dualvdd/internal/analysis/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "uncheckederr",
+	Doc:  "flags dropped error results outside the shared exclusion list",
+	Run:  run,
+}
+
+// Excluded is the deliberately-unchecked symbol set, in errcheck's symbol
+// syntax: `pkg.Func`, `(pkg.Type).Method`, `(*pkg.Type).Method`, with full
+// import paths. It mirrors .errcheck-excludes plus the relevant slice of
+// errcheck's built-in default exclusions (stdout printing, buffer writes,
+// ExitOnError flag parsing). Tests may override it.
+var Excluded = map[string]bool{
+	// errcheck built-in defaults this repo relies on.
+	"fmt.Print":                      true,
+	"fmt.Printf":                     true,
+	"fmt.Println":                    true,
+	"(*flag.FlagSet).Parse":          true,
+	"(*bytes.Buffer).Write":          true,
+	"(*bytes.Buffer).WriteByte":      true,
+	"(*bytes.Buffer).WriteRune":      true,
+	"(*bytes.Buffer).WriteString":    true,
+	"(*strings.Builder).Write":       true,
+	"(*strings.Builder).WriteByte":   true,
+	"(*strings.Builder).WriteRune":   true,
+	"(*strings.Builder).WriteString": true,
+	// .errcheck-excludes mirror.
+	"fmt.Fprintf":                             true,
+	"fmt.Fprintln":                            true,
+	"(hash.Hash).Write":                       true,
+	"(hash.Hash64).Write":                     true,
+	"(io.ReadCloser).Close":                   true,
+	"(*os.File).Close":                        true,
+	"(*os.File).Write":                        true,
+	"(*dualvdd/internal/store.Journal).Close": true,
+}
+
+func run(pass *analysis.Pass) error {
+	check := func(call *ast.CallExpr) {
+		if !returnsError(pass, call) || pass.InTestFile(call.Pos()) {
+			return
+		}
+		sym := calleeSymbol(pass, call)
+		if sym != "" && (Excluded[sym] || Excluded[flipPointer(sym)]) {
+			return
+		}
+		if lintutil.Suppressed(pass, call.Pos(), "unchecked-ok") {
+			return
+		}
+		name := sym
+		if name == "" {
+			name = "call"
+		}
+		pass.Reportf(call.Pos(), "error result of %s is dropped; handle it, add the symbol to .errcheck-excludes (and the uncheckederr mirror), or annotate //lint:unchecked-ok <reason>", name)
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				check(call)
+			}
+		case *ast.GoStmt:
+			check(n.Call)
+		case *ast.DeferStmt:
+			check(n.Call)
+		}
+		return true
+	})
+	return nil
+}
+
+// returnsError reports whether the call's last result is of type error.
+func returnsError(pass *analysis.Pass, call *ast.CallExpr) bool {
+	t := pass.TypesInfo.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	last := t
+	if tuple, ok := t.(*types.Tuple); ok {
+		if tuple.Len() == 0 {
+			return false
+		}
+		last = tuple.At(tuple.Len() - 1).Type()
+	}
+	return isErrorType(last)
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// calleeSymbol renders the statically-called function in errcheck's symbol
+// syntax, or "" for dynamic calls through variables. Like errcheck, method
+// calls are named after the receiver expression's static type — a promoted
+// or embedded-interface method (hash.Hash's Write from io.Writer) matches
+// the exclusion for the type the caller sees, not the origin interface.
+func calleeSymbol(pass *analysis.Pass, call *ast.CallExpr) string {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		if selection := pass.TypesInfo.Selections[fun]; selection != nil && selection.Kind() == types.MethodVal {
+			rt := pass.TypesInfo.TypeOf(fun.X)
+			if ptr, ok := types.Unalias(rt).(*types.Pointer); ok {
+				return "(*" + typePath(ptr.Elem()) + ")." + fun.Sel.Name
+			}
+			return "(" + typePath(rt) + ")." + fun.Sel.Name
+		}
+		obj = pass.TypesInfo.Uses[fun.Sel]
+	default:
+		return ""
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	if recv := sig.Recv(); recv != nil {
+		rt := recv.Type()
+		if ptr, ok := rt.(*types.Pointer); ok {
+			return "(*" + typePath(ptr.Elem()) + ")." + fn.Name()
+		}
+		return "(" + typePath(rt) + ")." + fn.Name()
+	}
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// flipPointer toggles "(*T).M" <-> "(T).M" so a value-receiver call on an
+// addressable variable still matches an exclusion written in pointer form.
+func flipPointer(sym string) string {
+	switch {
+	case strings.HasPrefix(sym, "(*"):
+		return "(" + sym[2:]
+	case strings.HasPrefix(sym, "("):
+		return "(*" + sym[1:]
+	}
+	return sym
+}
+
+func typePath(t types.Type) string {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return t.String()
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}

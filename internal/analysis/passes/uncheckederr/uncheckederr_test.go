@@ -1,0 +1,12 @@
+package uncheckederr_test
+
+import (
+	"testing"
+
+	"dualvdd/internal/analysis/analysistest"
+	"dualvdd/internal/analysis/passes/uncheckederr"
+)
+
+func TestUncheckederr(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), uncheckederr.Analyzer, "a")
+}

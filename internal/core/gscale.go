@@ -318,6 +318,7 @@ func GscaleOn(inc *sta.Incremental, ckt *netlist.Circuit, lib *cell.Library, opt
 			return nil, fmt.Errorf("core: Gscale violated timing (%.6f > %.6f)", t.WorstArrival, opts.Tspec)
 		}
 	}
+	//lint:nondeterministic-ok commutative counting of resized gates; order-free
 	for gi, orig := range originalCell {
 		if ckt.Gates[gi].Cell != orig {
 			res.Sized++

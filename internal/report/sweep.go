@@ -120,6 +120,7 @@ func markPareto(rows []SweepRow, keys []dualvdd.SweepCircuit) {
 	for i := range rows {
 		byCircuit[keys[i]] = append(byCircuit[keys[i]], i)
 	}
+	//lint:nondeterministic-ok each circuit writes disjoint row indices; output is order-free
 	for _, idx := range byCircuit {
 		pts := make([]dualvdd.ParetoPoint, len(idx))
 		for k, i := range idx {

@@ -37,9 +37,9 @@ type CAS struct {
 	sync bool
 
 	mu    sync.Mutex
-	index map[string]*list.Element
-	lru   *list.List // front = most recent; values are *casEntry
-	bytes int64
+	index map[string]*list.Element // guarded by mu
+	lru   *list.List               // guarded by mu; front = most recent; values are *casEntry
+	bytes int64                    // guarded by mu
 }
 
 // casEntry is the in-memory index record of one on-disk entry.
@@ -73,6 +73,8 @@ func CASSync() CASOption {
 // OpenCAS opens (creating as needed) a directory CAS. Existing entries are
 // indexed — recency seeded oldest-first from modification times — and stale
 // temp files from interrupted writes are removed.
+//
+//lint:unguarded-ok construction: the CAS is not shared until OpenCAS returns
 func OpenCAS(dir string, opts ...CASOption) (*CAS, error) {
 	c := &CAS{
 		dir:   dir,
@@ -257,8 +259,8 @@ func (c *CAS) PutErr(res *dualvdd.CachedResult) error {
 	return nil
 }
 
-// evictLocked drops least-recently-used entries past the bound; call with
-// c.mu held.
+// evictLocked drops least-recently-used entries past the bound.
+// caller holds c.mu.
 func (c *CAS) evictLocked() {
 	for c.max > 0 && c.lru.Len() > c.max {
 		oldest := c.lru.Back()

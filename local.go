@@ -38,14 +38,14 @@ type Local struct {
 	journal JobStore
 
 	mu      sync.Mutex
-	jobs    map[JobID]*localJob
-	retired []JobID // terminal jobs in completion order, oldest first
-	order   int64
-	closed  bool
-	idle    chan struct{} // closed when the worker pool exits
-	warm    map[string]*list.Element
-	warmLRU *list.List // front = most recent; values are *warmEntry
-	metrics Metrics
+	jobs    map[JobID]*localJob      // guarded by mu
+	retired []JobID                  // guarded by mu; terminal jobs in completion order, oldest first
+	order   int64                    // guarded by mu
+	closed  bool                     // guarded by mu
+	idle    chan struct{}            // closed when the worker pool exits; receiving needs no lock
+	warm    map[string]*list.Element // guarded by mu
+	warmLRU *list.List               // guarded by mu; front = most recent; values are *warmEntry
+	metrics Metrics                  // guarded by mu
 }
 
 // warmEntry is one warm-prep group: every job whose warmPrepKey matches
@@ -73,10 +73,10 @@ type localJob struct {
 	cancel context.CancelFunc
 
 	mu     sync.Mutex
-	status JobStatus
-	events []Event
-	update chan struct{} // closed and replaced on every append/state change
-	done   chan struct{} // closed on terminal state
+	status JobStatus     // guarded by mu
+	events []Event       // guarded by mu
+	update chan struct{} // guarded by mu; closed and replaced on every append/state change
+	done   chan struct{} // closed on terminal state; receiving needs no lock
 }
 
 // LocalOption configures NewLocal.
@@ -235,8 +235,10 @@ func (l *Local) Submit(ctx context.Context, job Job) (JobID, error) {
 	var jctx context.Context
 	var jcancel context.CancelFunc
 	if hasBudget {
+		//lint:ctx-ok documented detachment above: jobs outlive Submit, budget-bounded
 		jctx, jcancel = context.WithTimeout(context.Background(), budget)
 	} else {
+		//lint:ctx-ok documented detachment above: jobs outlive Submit, Cancel/Close-bounded
 		jctx, jcancel = context.WithCancel(context.Background())
 	}
 	j := &localJob{
@@ -484,6 +486,7 @@ func (l *Local) Close(ctx context.Context) error {
 		close(l.queue)
 	}
 	jobs := make([]*localJob, 0, len(l.jobs))
+	//lint:nondeterministic-ok shutdown cancels every job; cancellation order is immaterial
 	for _, j := range l.jobs {
 		jobs = append(jobs, j)
 	}
@@ -500,7 +503,7 @@ func (l *Local) Close(ctx context.Context) error {
 	}
 }
 
-// bump wakes Watch subscribers; call with j.mu held.
+// bump wakes Watch subscribers; caller holds j.mu.
 func (j *localJob) bump() {
 	close(j.update)
 	j.update = make(chan struct{})
@@ -620,7 +623,9 @@ func (l *Local) retire(j *localJob) {
 // event log — only the outcome survives a restart), the newest l.history of
 // them are kept, and the submission counter resumes past the largest
 // replayed sequence number so new IDs never collide with journaled ones.
-// Called from NewLocal before the worker pool accepts jobs; no lock needed.
+// Called from NewLocal before the worker pool accepts jobs.
+//
+//lint:unguarded-ok construction: runs before the worker pool starts; no lock needed
 func (l *Local) replayJournal() {
 	type replayed struct {
 		seq int64

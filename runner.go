@@ -251,6 +251,7 @@ type jobBudgetKey struct{}
 // budget outlives the Submit call: it bounds the job, not the request that
 // delivered it.
 func WithJobBudget(ctx context.Context, d time.Duration) context.Context {
+	//lint:wallclock-ok the budget seam itself: end-to-end deadlines are wall time by contract
 	return context.WithValue(ctx, jobBudgetKey{}, time.Now().Add(d))
 }
 
@@ -261,7 +262,7 @@ func JobBudget(ctx context.Context) (time.Duration, bool) {
 	if !ok {
 		return 0, false
 	}
-	return time.Until(dl), true
+	return time.Until(dl), true //lint:wallclock-ok the budget seam itself; see WithJobBudget
 }
 
 // DesignInfo is the serializable summary of a prepared design — what

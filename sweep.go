@@ -388,6 +388,7 @@ func runSweepPoint(ctx context.Context, r Runner, pt SweepPoint, run sweepRun) (
 		select {
 		case <-ctx.Done():
 			return nil, ctx.Err()
+			//lint:wallclock-ok queue-full retry backoff; pacing only, never in results
 		case <-time.After(5 * time.Millisecond):
 		}
 	}
@@ -414,6 +415,7 @@ func runSweepPoint(ctx context.Context, r Runner, pt SweepPoint, run sweepRun) (
 					// sweep on this drain — bound it, then cut the stream.
 					select {
 					case <-fwd:
+						//lint:wallclock-ok bounded watch-drain; liveness guard, never in results
 					case <-time.After(sweepDrainTimeout):
 					}
 				}
@@ -429,6 +431,7 @@ func runSweepPoint(ctx context.Context, r Runner, pt SweepPoint, run sweepRun) (
 		// Best-effort cancel so an abandoned sweep does not leave the runner
 		// grinding through the queue; the job's own context is independent
 		// of ours, hence the fresh one.
+		//lint:ctx-ok best-effort cancel after our ctx already failed; needs a live context
 		cctx, cancel := context.WithTimeout(context.Background(), time.Second)
 		_ = r.Cancel(cctx, id)
 		cancel()

@@ -42,9 +42,9 @@ type WarmDesign struct {
 	Design *Design
 
 	mu   sync.Mutex
-	work *netlist.Circuit
-	inc  *sta.Incremental
-	runs int64
+	work *netlist.Circuit // guarded by mu
+	inc  *sta.Incremental // guarded by mu
+	runs int64            // guarded by mu
 }
 
 // NewWarmDesign builds the shared execution state from a prepared design: one
@@ -144,7 +144,7 @@ func (w *WarmDesign) runOne(ctx context.Context, algo Algorithm, obs Observer) (
 	// constraint), or the shared state would poison every later point.
 	defer w.inc.Rollback(mark)
 
-	start := time.Now()
+	start := time.Now() //lint:wallclock-ok timing metric only; never feeds results
 	var cres *core.Result
 	var err error
 	switch algo {
@@ -163,7 +163,7 @@ func (w *WarmDesign) runOne(ctx context.Context, algo Algorithm, obs Observer) (
 		}
 		return nil, fmt.Errorf("dualvdd: %s on %s: %w", algo, d.Name, err)
 	}
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //lint:wallclock-ok timing metric only; never feeds results
 	// The constraint must hold after every algorithm — verify, don't trust.
 	// The engine's annotation is bit-identical to a fresh Analyze by contract
 	// (the differential suite holds it to that), so its own verdict stands in
