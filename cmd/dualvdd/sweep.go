@@ -25,6 +25,7 @@ import (
 //	dualvdd sweep -bench C880 -vddl 3.9,4.3 -slack 1.1:1.4:0.1 -pareto
 //	dualvdd sweep -bench des -addr http://127.0.0.1:8080 -progress
 //	dualvdd sweep -bench rot,C7552 -vddl 3.1:4.7:0.2 -warm
+//	dualvdd sweep -bench C880 -rails "5.0,4.3;5.0,4.3,3.6"
 //
 // -warm shares each circuit's prepared state (mapping, baseline timing
 // analysis, switching activities) across the whole grid and re-converges
@@ -41,6 +42,7 @@ func runSweep(args []string) {
 	in := fs.String("in", "", "input BLIF file (.names form; alternative to -bench)")
 	vddl := fs.String("vddl", "", `VDDL axis: "lo:hi:step" or comma list (default: base vlow)`)
 	vddh := fs.String("vddh", "", `VDDH axis: "lo:hi:step" or comma list (default: base vhigh)`)
+	rails := fs.String("rails", "", `rail-table axis: tables separated by ';', rails by ',' descending (e.g. "5.0,4.3;5.0,4.3,3.6"); excludes -vddh/-vddl`)
 	slack := fs.String("slack", "", `slack-factor axis: "lo:hi:step" or comma list`)
 	simwords := fs.String("simwords", "", `sim-words axis: "lo:hi:step" or comma list of ints`)
 	algos := fs.String("algos", "", `algorithm-set axis: sets separated by ',', members by '+' (e.g. "cvs+dscale,gscale")`)
@@ -87,6 +89,9 @@ func runSweep(args []string) {
 	}
 	if sweep.Axes.VDDH, err = parseFloatAxis(*vddh); err != nil {
 		fatal(fmt.Errorf("-vddh: %w", err))
+	}
+	if sweep.Axes.Rails, err = parseRailsAxis(*rails); err != nil {
+		fatal(fmt.Errorf("-rails: %w", err))
 	}
 	if sweep.Axes.SlackFactor, err = parseFloatAxis(*slack); err != nil {
 		fatal(fmt.Errorf("-slack: %w", err))
@@ -149,8 +154,17 @@ func runSweep(args []string) {
 				if e.Cached {
 					cached = " (cached)"
 				}
-				fmt.Fprintf(os.Stderr, "point %d/%d %s vddh=%.2f vddl=%.2f slack=%.2f%s\n",
-					e.Index+1, e.Total, e.Circuit, e.Vhigh, e.Vlow, e.SlackFactor, cached)
+				if len(e.Rails) > 0 {
+					parts := make([]string, len(e.Rails))
+					for i, r := range e.Rails {
+						parts[i] = strconv.FormatFloat(r, 'g', -1, 64)
+					}
+					fmt.Fprintf(os.Stderr, "point %d/%d %s rails=%s slack=%.2f%s\n",
+						e.Index+1, e.Total, e.Circuit, strings.Join(parts, ","), e.SlackFactor, cached)
+				} else {
+					fmt.Fprintf(os.Stderr, "point %d/%d %s vddh=%.2f vddl=%.2f slack=%.2f%s\n",
+						e.Index+1, e.Total, e.Circuit, e.Vhigh, e.Vlow, e.SlackFactor, cached)
+				}
 			case dualvdd.EventSweepDone:
 				fmt.Fprintf(os.Stderr, "sweep done: %d points (%d cached) on %d circuits\n",
 					e.Points, e.Cached, e.Circuits)
@@ -274,6 +288,39 @@ func expandRange(s string) ([]float64, error) {
 			val = hi
 		}
 		out = append(out, val)
+	}
+	return out, nil
+}
+
+// parseRailsAxis parses the rail-table axis: tables separated by ';', rails
+// within a table by ',' in descending voltage order. "5.0,4.3;5.0,4.3,3.6"
+// sweeps the classic pair against a three-rail table. Validation beyond
+// syntax (descending order, positivity, exclusivity with -vddh/-vddl) lives
+// in Sweep.Points, which sees the whole axis set at once.
+func parseRailsAxis(s string) ([][]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out [][]float64
+	for _, tableSpec := range strings.Split(s, ";") {
+		if strings.TrimSpace(tableSpec) == "" {
+			continue
+		}
+		var table []float64
+		for _, part := range splitList(tableSpec) {
+			v, err := strconv.ParseFloat(part, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q", part)
+			}
+			table = append(table, v)
+		}
+		if len(table) < 2 {
+			return nil, fmt.Errorf("rail table %q needs at least two supplies", tableSpec)
+		}
+		out = append(out, table)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty axis %q", s)
 	}
 	return out, nil
 }

@@ -66,6 +66,15 @@ type Config struct {
 	// accordance with our internal design project".
 	Vhigh float64 `json:"vhigh"`
 	Vlow  float64 `json:"vlow"`
+	// Rails generalizes the pair to a sorted (strictly descending) supply
+	// list of two or more rails, following the multi-supply-voltage line of
+	// the related work: gates demote one rail step at a time and level
+	// converters are charged per crossed boundary. Vhigh/Vlow stay exact
+	// aliases for the first and last entry. A two-entry Rails is canonically
+	// equivalent to setting Vhigh/Vlow directly — Normalized folds it into
+	// the aliases and drops the list, so two-rail configs keep their legacy
+	// JSON bytes and content addresses. Empty means "use Vhigh/Vlow".
+	Rails []float64 `json:"rails,omitempty"`
 	// SlackFactor loosens the timing constraint over the minimum-delay
 	// mapping (1.2 = the paper's 20%).
 	SlackFactor float64 `json:"slack_factor"`
@@ -104,6 +113,43 @@ func DefaultConfig() Config {
 	}
 }
 
+// Normalized returns the canonical form of the configuration: when Rails is
+// set, Vhigh and Vlow are derived from its first and last entry, and a
+// two-entry Rails — fully redundant with the aliases — is dropped. The
+// canonical form is what every content address, wire encoding and library
+// construction uses, which is how `Rails: [5.0, 4.3]` produces bit-identical
+// JSON, cache keys and results to the legacy Vhigh/Vlow pair. Configs without
+// Rails are returned unchanged.
+func (c Config) Normalized() Config {
+	if len(c.Rails) == 0 {
+		return c
+	}
+	c.Rails = append([]float64(nil), c.Rails...)
+	c.Vhigh = c.Rails[0]
+	c.Vlow = c.Rails[len(c.Rails)-1]
+	if len(c.Rails) == 2 {
+		c.Rails = nil
+	}
+	return c
+}
+
+// RailList resolves the full sorted rail list: Rails when set, otherwise the
+// [Vhigh, Vlow] pair. The returned slice is always a fresh copy.
+func (c Config) RailList() []float64 {
+	if len(c.Rails) >= 2 {
+		return append([]float64(nil), c.Rails...)
+	}
+	return []float64{c.Vhigh, c.Vlow}
+}
+
+// NumRails reports how many supply rails the configuration resolves to.
+func (c Config) NumRails() int {
+	if len(c.Rails) >= 2 {
+		return len(c.Rails)
+	}
+	return 2
+}
+
 // ErrInvalidConfig is the sentinel every Config.Validate failure wraps. The
 // message shape is stable and documented: "dualvdd: invalid config: <field>:
 // <reason>", so callers match with errors.Is and humans read one format
@@ -124,6 +170,18 @@ func configErr(field, format string, args ...any) error {
 // Failures wrap ErrInvalidConfig.
 func (c Config) Validate() error {
 	finite := func(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }
+	if len(c.Rails) == 1 {
+		return configErr("rails", "a rail list needs at least two supplies, got 1")
+	}
+	for i, r := range c.Rails {
+		if !finite(r) || r <= 0 {
+			return configErr("rails", "rail %d: supply %g must be a positive, finite voltage", i, r)
+		}
+		if i > 0 && r >= c.Rails[i-1] {
+			return configErr("rails", "rail %d: supply %g must sit strictly below rail %d (%g) — rails are sorted descending", i, r, i-1, c.Rails[i-1])
+		}
+	}
+	c = c.Normalized() // derive the Vhigh/Vlow aliases the checks below see
 	switch {
 	case !finite(c.Vhigh) || c.Vhigh <= 0:
 		return configErr("vhigh", "supply %g must be a positive, finite voltage", c.Vhigh)
@@ -196,7 +254,8 @@ func prepare(ctx context.Context, net *logic.Network, cfg Config, obs Observer) 
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	lib := cell.Compass06At(cfg.Vhigh, cfg.Vlow)
+	cfg = cfg.Normalized()
+	lib := cell.Compass06Rails(cfg.RailList())
 	mopts := mapper.DefaultOptions()
 	mopts.SlackFactor = cfg.SlackFactor
 	res, err := mapper.Map(net, lib, mopts)
@@ -306,10 +365,44 @@ type FlowResult struct {
 	// SimTime is the wall clock spent in logic simulation: the algorithm's
 	// own activity estimation plus the final power measurement.
 	SimTime time.Duration `json:"sim_ns"`
+	// RailGates counts live ordinary gates per rail index (RailGates[i] =
+	// gates at rail i of Config.RailList) and LCCross breaks the level
+	// converters down per crossed rail pair. Both are populated only for
+	// configurations of more than two rails — at the classic two-rail setup
+	// Gates/LowGates/LCs already say everything and the wire bytes stay
+	// exactly what they were.
+	RailGates []int        `json:"rail_gates,omitempty"`
+	LCCross   []LCCrossing `json:"lc_crossings,omitempty"`
 	// Circuit is the scaled clone, for inspection or BLIF export. It stays
 	// local: the JSON encoding skips it, so results decoded from the wire
 	// carry a nil Circuit.
 	Circuit *netlist.Circuit `json:"-"`
+}
+
+// LCCrossing counts the level converters restoring one rail crossing: LCs
+// converters whose driver sits at rail index From and whose consumers need
+// rail index To (To < From — converters restore swing upward).
+type LCCrossing struct {
+	From int `json:"from"`
+	To   int `json:"to"`
+	LCs  int `json:"lcs"`
+}
+
+// railBreakdown fills the multi-rail result columns from a scaled circuit;
+// a no-op at two rails, where the classic columns already carry everything.
+func railBreakdown(fr *FlowResult, ckt *netlist.Circuit, lib *cell.Library) {
+	n := lib.NumRails()
+	if n <= 2 {
+		return
+	}
+	fr.RailGates = ckt.RailGateCounts(n)
+	for from, row := range ckt.LCCrossingCounts(n) {
+		for to, k := range row {
+			if k > 0 {
+				fr.LCCross = append(fr.LCCross, LCCrossing{From: from, To: to, LCs: k})
+			}
+		}
+	}
 }
 
 // coreOptions converts the config for internal/core.
@@ -404,6 +497,7 @@ func (d *Design) run(ctx context.Context, name string, algo func(*netlist.Circui
 	if gates > 0 {
 		fr.LowRatio = float64(fr.LowGates) / float64(gates)
 	}
+	railBreakdown(fr, ckt, d.Lib)
 	d.obs.emit(EventResult{Circuit: d.Name, Result: fr})
 	return fr, nil
 }

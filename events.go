@@ -94,6 +94,10 @@ type EventSweepPoint struct {
 	Vlow        float64 `json:"vlow"`
 	SlackFactor float64 `json:"slack_factor"`
 	SimWords    int     `json:"sim_words"`
+	// Rails is the point's full supply table for multi-rail points (three or
+	// more rails); empty for classic two-rail points, whose Vhigh/Vlow say
+	// everything — so two-rail envelopes keep their exact legacy bytes.
+	Rails []float64 `json:"rails,omitempty"`
 	// Algorithms is the point's algorithm set, in execution order.
 	Algorithms []Algorithm `json:"algorithms"`
 	// Cached reports that the runner answered the point from its

@@ -119,6 +119,35 @@ func TestEventJSONStableEncoding(t *testing.T) {
 	if string(b) != want {
 		t.Fatalf("sweep_done encoding drifted:\n got %s\nwant %s", b, want)
 	}
+	// A sweep point on an inline BLIF model carries its positional label
+	// ("blif#<index>" — every inline model gets a distinct one), and a
+	// multi-rail point carries its full supply table; a two-rail point omits
+	// "rails" entirely (see the fixture round trip above).
+	b, err = MarshalEvent(EventSweepPoint{
+		Index: 1, Total: 4, Circuit: "blif#1",
+		Vhigh: 5.0, Vlow: 3.6, SlackFactor: 1.2, SimWords: 256,
+		Rails:      []float64{5.0, 4.3, 3.6},
+		Algorithms: []Algorithm{AlgoCVS},
+		Results: []*FlowResult{{
+			Algorithm: "CVS", Power: 5.9e-5, ImprovePct: 12.1,
+			Gates: 42, LowGates: 11, LCs: 3, WorstSlack: 0.02,
+			RailGates: []int{28, 11, 3},
+			LCCross:   []LCCrossing{{From: 2, To: 0, LCs: 2}, {From: 1, To: 0, LCs: 1}},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = `{"type":"sweep_point","data":{"index":1,"total":4,"circuit":"blif#1",` +
+		`"vhigh":5,"vlow":3.6,"slack_factor":1.2,"sim_words":256,"rails":[5,4.3,3.6],` +
+		`"algorithms":["CVS"],"results":[{"algorithm":"CVS","power_w":0.000059,` +
+		`"improve_pct":12.1,"gates":42,"low_gates":11,"lcs":3,` +
+		`"sized":0,"low_ratio":0,"area_increase":0,"worst_slack_ns":0.02,"runtime_ns":0,"sta_evals":0,` +
+		`"cand_evals":0,"sim_ns":0,"rail_gates":[28,11,3],` +
+		`"lc_crossings":[{"from":2,"to":0,"lcs":2},{"from":1,"to":0,"lcs":1}]}]}}`
+	if string(b) != want {
+		t.Fatalf("sweep_point encoding drifted:\n got %s\nwant %s", b, want)
+	}
 }
 
 func TestEventResultJSONExcludesCircuit(t *testing.T) {

@@ -226,14 +226,15 @@ type Coordinator struct {
 	journal   dualvdd.JobStore
 	admission *admission
 
-	mu      sync.Mutex
-	ring    *ring                       // guarded by mu
-	workers map[string]*workerState     // guarded by mu
-	jobs    map[dualvdd.JobID]*fleetJob // guarded by mu
-	retired []dualvdd.JobID             // guarded by mu
-	order   int64                       // guarded by mu
-	closed  bool                        // guarded by mu
-	metrics dualvdd.Metrics             // guarded by mu
+	mu       sync.Mutex
+	ring     *ring                       // guarded by mu
+	workers  map[string]*workerState     // guarded by mu
+	jobs     map[dualvdd.JobID]*fleetJob // guarded by mu
+	inflight map[string]dualvdd.JobID    // guarded by mu; content key → live job, for idempotent resubmission
+	retired  []dualvdd.JobID             // guarded by mu
+	order    int64                       // guarded by mu
+	closed   bool                        // guarded by mu
+	metrics  dualvdd.Metrics             // guarded by mu
 
 	wg   sync.WaitGroup
 	stop chan struct{}
@@ -260,6 +261,7 @@ func New(workerURLs []string, opts ...Option) (*Coordinator, error) {
 		patience:         30 * time.Second,
 		hopBudget:        50 * time.Millisecond,
 		jobs:             make(map[dualvdd.JobID]*fleetJob),
+		inflight:         make(map[string]dualvdd.JobID),
 		workers:          make(map[string]*workerState),
 		stop:             make(chan struct{}),
 	}
@@ -423,6 +425,16 @@ func (c *Coordinator) Submit(ctx context.Context, job dualvdd.Job) (dualvdd.JobI
 		c.mu.Unlock()
 		return "", dualvdd.ErrClosed
 	}
+	// Submission is idempotent on the job's content address while a matching
+	// job is in flight: a retried POST whose first attempt landed (only the
+	// response died in transit) is answered with the live job's ID. Checked
+	// before admission, so the retry is not charged against the tenant's
+	// quota or rate a second time.
+	if prior, ok := c.inflight[key]; ok {
+		c.metrics.SubmitDedups++
+		c.mu.Unlock()
+		return prior, nil
+	}
 	c.mu.Unlock()
 
 	if err := c.admission.admit(tenant); err != nil {
@@ -471,6 +483,15 @@ func (c *Coordinator) Submit(ctx context.Context, job dualvdd.Job) (dualvdd.JobI
 		c.admission.release(tenant)
 		return "", dualvdd.ErrClosed
 	}
+	// Re-check under the lock that publishes in-flight jobs: a concurrent
+	// twin may have won the race while the cache lookup ran unlocked.
+	if prior, ok := c.inflight[key]; ok {
+		c.metrics.SubmitDedups++
+		c.mu.Unlock()
+		jcancel()
+		c.admission.release(tenant)
+		return prior, nil
+	}
 	c.order++
 	j.seq = c.order
 	id := dualvdd.JobID(fmt.Sprintf("job-%06d-%s", j.seq, key[:8]))
@@ -488,6 +509,10 @@ func (c *Coordinator) Submit(ctx context.Context, job dualvdd.Job) (dualvdd.JobI
 	c.metrics.CacheMisses++
 	c.metrics.JobsQueued++
 	c.metrics.PointsInFlight++
+	if job.Config.NumRails() > 2 {
+		c.metrics.MultiRailJobs++
+	}
+	c.inflight[key] = id
 	c.mu.Unlock()
 
 	c.wg.Add(1)
@@ -759,6 +784,11 @@ func (c *Coordinator) retire(j *fleetJob) {
 		}
 	}
 	c.mu.Lock()
+	// The job is terminal: later identical submissions must start fresh (or
+	// hit the result cache), not adopt this carcass.
+	if cur, ok := c.inflight[j.key]; ok && cur == j.status.ID {
+		delete(c.inflight, j.key)
+	}
 	c.retired = append(c.retired, j.status.ID)
 	for len(c.retired) > c.history {
 		delete(c.jobs, c.retired[0])

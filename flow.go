@@ -47,6 +47,10 @@ func New(opts ...Option) *Flow {
 	for _, opt := range opts {
 		opt(f)
 	}
+	// Canonical form everywhere downstream: a two-entry WithRails folds into
+	// the Vhigh/Vlow aliases here, so jobs, keys and wire bytes built from
+	// this Flow are exactly the legacy ones.
+	f.cfg = f.cfg.Normalized()
 	return f
 }
 
@@ -59,6 +63,13 @@ func FromConfig(cfg Config) Option {
 // WithVoltages sets the two supply rails (the paper uses 5.0 and 4.3 V).
 func WithVoltages(vhigh, vlow float64) Option {
 	return func(f *Flow) { f.cfg.Vhigh, f.cfg.Vlow = vhigh, vlow }
+}
+
+// WithRails sets the full sorted supply list for multi-rail scaling (see
+// Config.Rails); it overrides WithVoltages. Two rails are canonically
+// equivalent to WithVoltages(rails[0], rails[1]), bit for bit.
+func WithRails(rails ...float64) Option {
+	return func(f *Flow) { f.cfg.Rails = append([]float64(nil), rails...) }
 }
 
 // WithSlackFactor sets how far the timing constraint is loosened over the

@@ -3,6 +3,7 @@ package dualvdd_test
 import (
 	"context"
 	"errors"
+	"reflect"
 	"testing"
 	"time"
 
@@ -26,15 +27,15 @@ func TestFlowOptionsResolveToConfig(t *testing.T) {
 		MaxIter: 7, SimWords: 64, Seed: 99, Fclk: 50e6,
 		GreedySelect: true, GreedySizing: true,
 	}
-	if got := flow.Config(); got != want {
+	if got := flow.Config(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("options resolved to %+v, want %+v", got, want)
 	}
 	// The zero-option Flow reproduces the paper's defaults, and FromConfig
 	// round-trips a legacy Config through the option surface.
-	if got := dualvdd.New().Config(); got != dualvdd.DefaultConfig() {
+	if got := dualvdd.New().Config(); !reflect.DeepEqual(got, dualvdd.DefaultConfig()) {
 		t.Fatalf("New() config %+v differs from DefaultConfig", got)
 	}
-	if got := dualvdd.New(dualvdd.FromConfig(want)).Config(); got != want {
+	if got := dualvdd.New(dualvdd.FromConfig(want)).Config(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("FromConfig round trip lost fields: %+v", got)
 	}
 	// Later options override FromConfig.

@@ -6,6 +6,14 @@
 // "unknown envelope" error only once it reaches a peer, which the pinned
 // encoding tests catch only if someone remembers to add one.
 //
+// It further checks the events' payload closure: every exported field of an
+// Event implementation — and of every package-local struct reachable from one
+// through fields, slices, maps or pointers (FlowResult and its per-rail
+// breakdown types, say) — must carry an explicit json tag. An untagged field
+// ships under its Go name, a wire key nobody chose and no pinned golden
+// covers until a peer trips over it; `json:"-"` is the explicit way to keep
+// a field off the wire (and ends the walk there).
+//
 // The analyzer activates in any package that declares
 // `type Event interface { isEvent() }` alongside an EventKind function, so
 // its own testdata packages exercise the same logic as the real codec in
@@ -15,13 +23,14 @@ package eventreg
 import (
 	"go/ast"
 	"go/types"
+	"reflect"
 
 	"dualvdd/internal/analysis"
 )
 
 var Analyzer = &analysis.Analyzer{
 	Name: "eventreg",
-	Doc:  "every concrete Event implementation must be registered in the EventKind and UnmarshalEvent envelope codec switches",
+	Doc:  "every concrete Event implementation must be registered in the envelope codec switches, with explicit json tags across its payload closure",
 	Run:  run,
 }
 
@@ -76,7 +85,64 @@ func run(pass *analysis.Pass) error {
 			pass.Reportf(tn.Pos(), "event type %s implements Event but is never constructed in UnmarshalEvent; peers cannot decode its envelope", tn.Name())
 		}
 	}
+	checkPayloadTags(pass, impls)
 	return nil
+}
+
+// checkPayloadTags walks the payload closure of the event types — every
+// package-local struct reachable through exported, on-wire fields — and
+// reports exported fields without an explicit json tag. The walk does not
+// descend through `json:"-"` fields: those never reach the wire, so their
+// types owe the codec nothing.
+func checkPayloadTags(pass *analysis.Pass, impls []*types.TypeName) {
+	seen := make(map[*types.TypeName]bool)
+	var walkStruct func(tn *types.TypeName)
+	var walkType func(t types.Type)
+	walkType = func(t types.Type) {
+		switch u := types.Unalias(t).(type) {
+		case *types.Pointer:
+			walkType(u.Elem())
+		case *types.Slice:
+			walkType(u.Elem())
+		case *types.Array:
+			walkType(u.Elem())
+		case *types.Map:
+			walkType(u.Elem())
+		case *types.Named:
+			if obj := u.Obj(); obj.Pkg() == pass.Pkg {
+				if _, ok := u.Underlying().(*types.Struct); ok {
+					walkStruct(obj)
+				}
+			}
+		}
+	}
+	walkStruct = func(tn *types.TypeName) {
+		if seen[tn] {
+			return
+		}
+		seen[tn] = true
+		st := tn.Type().Underlying().(*types.Struct)
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if !f.Exported() {
+				continue // encoding/json never marshals these
+			}
+			tag, ok := reflect.StructTag(st.Tag(i)).Lookup("json")
+			if !ok {
+				pass.Reportf(f.Pos(), "wire event payload field %s.%s has no json tag; its Go name becomes a wire key nobody chose — tag it, or json:\"-\" to keep it off the wire", tn.Name(), f.Name())
+				continue
+			}
+			if tag == "-" {
+				continue // explicitly off the wire; its type is not payload
+			}
+			walkType(f.Type())
+		}
+	}
+	for _, tn := range impls {
+		if _, ok := tn.Type().Underlying().(*types.Struct); ok {
+			walkStruct(tn)
+		}
+	}
 }
 
 // eventInterface returns the package's Event interface type, if the

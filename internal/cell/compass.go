@@ -105,6 +105,13 @@ func Compass06() *Library {
 // Compass06At builds the default library with a custom voltage pair, which
 // the voltage-sweep ablation uses to explore alternatives to (5, 4.3).
 func Compass06At(vhigh, vlow float64) *Library {
+	return Compass06Rails([]float64{vhigh, vlow})
+}
+
+// Compass06Rails builds the default library over an arbitrary sorted rail
+// table (descending). The two-entry table is exactly Compass06At; longer
+// tables add swing-scaled level converters for every rail crossing.
+func Compass06Rails(rails []float64) *Library {
 	var cells []*Cell
 	for _, f := range compassFamilies {
 		cells = append(cells, buildFamily(f)...)
@@ -129,7 +136,7 @@ func Compass06At(vhigh, vlow float64) *Library {
 		&Cell{Name: "TIE0", Function: FTIE0, Size: 0, Area: 0.5, InputCap: []float64{}, Intrinsic: []float64{}, Drive: 150.0},
 		&Cell{Name: "TIE1", Function: FTIE1, Size: 0, Area: 0.5, InputCap: []float64{}, Intrinsic: []float64{}, Drive: 150.0},
 	)
-	lib, err := NewLibrary("compass06", cells, vhigh, vlow, 0.8, 1.45)
+	lib, err := NewLibraryRails("compass06", cells, rails, 0.8, 1.45)
 	if err != nil {
 		panic("cell: default library construction failed: " + err.Error())
 	}

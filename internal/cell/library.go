@@ -6,22 +6,30 @@ import (
 	"sort"
 )
 
-// VoltLevel selects which of the two supply rails powers a gate instance.
+// VoltLevel selects which supply rail powers a gate instance. It is an index
+// into the library's sorted rail table: 0 is the highest (nominal) supply and
+// larger indices are progressively lower rails. The classic dual-VDD setup is
+// the two-entry special case.
 type VoltLevel int
 
 const (
-	// VHigh is the nominal supply (5 V in the paper's setup).
+	// VHigh is the nominal supply (5 V in the paper's setup), rail index 0.
 	VHigh VoltLevel = iota
-	// VLow is the reduced supply (4.3 V in the paper's setup).
+	// VLow is the reduced supply (4.3 V in the paper's setup). In a
+	// multi-rail library it names rail index 1, the first step down.
 	VLow
 )
 
-// String returns "Vhigh" or "Vlow".
+// String returns "Vhigh", "Vlow", or "V<index>" for deeper rails.
 func (v VoltLevel) String() string {
-	if v == VLow {
+	switch v {
+	case VHigh:
+		return "Vhigh"
+	case VLow:
 		return "Vlow"
+	default:
+		return fmt.Sprintf("V%d", int(v))
 	}
-	return "Vhigh"
 }
 
 // Cell is one sized library cell. Delay follows the pin-to-pin Elmore-style
@@ -71,13 +79,15 @@ func (c *Cell) NumInputs() int { return len(c.InputCap) }
 // reader/writer: inputs are "A".."D", the output is "O".
 func PinName(pin int) string { return string(rune('A' + pin)) }
 
-// Library is a characterised dual-voltage cell library. It owns the cells,
-// the two supply values, and the derating model that stands in for the
-// paper's SPICE characterisation of the low-voltage cell copies.
+// Library is a characterised multi-voltage cell library. It owns the cells,
+// the sorted rail table, and the derating model that stands in for the
+// paper's SPICE characterisation of the reduced-voltage cell copies. The
+// two-rail (VDDH/VDDL) library of the paper is the k=2 special case.
 type Library struct {
 	// Name identifies the library ("compass06" for the default).
 	Name string
-	// Vhigh and Vlow are the two supply voltages in volts.
+	// Vhigh and Vlow alias the first and last entries of the rail table: the
+	// nominal supply and the deepest reduced supply, in volts.
 	Vhigh, Vlow float64
 	// Vt is the threshold voltage and Alpha the velocity-saturation exponent
 	// of the alpha-power-law delay model delay ∝ Vdd/(Vdd−Vt)^Alpha.
@@ -98,6 +108,11 @@ type Library struct {
 	byName map[string]*Cell
 	lconv  *Cell
 	derate float64
+
+	rails    []float64         // sorted descending; rails[0] == Vhigh, rails[len-1] == Vlow
+	derates  []float64         // per-rail delay multipliers; derates[0] == 1.0
+	lcPair   [][]*Cell         // [from][to] level converter for a from→to crossing (from > to)
+	lcStatic map[*Cell]float64 // per level-converter cell standing power in watts
 }
 
 // voltageFactor is the alpha-power-law delay factor Vdd/(Vdd−Vt)^Alpha.
@@ -105,14 +120,33 @@ func voltageFactor(vdd, vt, alpha float64) float64 {
 	return vdd / math.Pow(vdd-vt, alpha)
 }
 
-// NewLibrary assembles a library from a cell list and electrical parameters,
-// wiring up the per-function and per-name indices. The cell list must contain
-// exactly one FLCONV cell.
+// NewLibrary assembles a classic two-rail library from a cell list and
+// electrical parameters. It is NewLibraryRails at the rail pair [vhigh, vlow].
 func NewLibrary(name string, cells []*Cell, vhigh, vlow, vt, alpha float64) (*Library, error) {
+	if vlow >= vhigh {
+		return nil, fmt.Errorf("cell: Vlow %.2f must be below Vhigh %.2f", vlow, vhigh)
+	}
+	if vlow <= vt {
+		return nil, fmt.Errorf("cell: Vlow %.2f must exceed Vt %.2f", vlow, vt)
+	}
+	return NewLibraryRails(name, cells, []float64{vhigh, vlow}, vt, alpha)
+}
+
+// NewLibraryRails assembles a library over a sorted rail table (descending,
+// rails[0] is the nominal supply), wiring up the per-function and per-name
+// indices, the per-rail derating table, and the rail-pair level-converter
+// table. The cell list must contain exactly one FLCONV cell; converters for
+// the remaining rail pairs are synthesised from it, scaled by relative swing.
+// At the two-entry table this is byte-for-byte the classic dual-VDD library:
+// the single crossing's converter is the FLCONV cell itself.
+func NewLibraryRails(name string, cells []*Cell, rails []float64, vt, alpha float64) (*Library, error) {
+	if err := validateRails(rails, vt); err != nil {
+		return nil, err
+	}
 	lib := &Library{
 		Name:             name,
-		Vhigh:            vhigh,
-		Vlow:             vlow,
+		Vhigh:            rails[0],
+		Vlow:             rails[len(rails)-1],
 		Vt:               vt,
 		Alpha:            alpha,
 		WireCapPerFanout: 0.0004,
@@ -121,12 +155,6 @@ func NewLibrary(name string, cells []*Cell, vhigh, vlow, vt, alpha float64) (*Li
 		Cells:            cells,
 		byFunc:           make(map[Func][]*Cell),
 		byName:           make(map[string]*Cell),
-	}
-	if vlow >= vhigh {
-		return nil, fmt.Errorf("cell: Vlow %.2f must be below Vhigh %.2f", vlow, vhigh)
-	}
-	if vlow <= vt {
-		return nil, fmt.Errorf("cell: Vlow %.2f must exceed Vt %.2f", vlow, vt)
 	}
 	for _, c := range cells {
 		if len(c.InputCap) != c.Function.NumInputs() || len(c.Intrinsic) != c.Function.NumInputs() {
@@ -148,8 +176,69 @@ func NewLibrary(name string, cells []*Cell, vhigh, vlow, vt, alpha float64) (*Li
 	if lib.lconv == nil {
 		return nil, fmt.Errorf("cell: library %s has no level converter (FLCONV) cell", name)
 	}
-	lib.derate = voltageFactor(vlow, vt, alpha) / voltageFactor(vhigh, vt, alpha)
+	lib.retarget(rails)
 	return lib, nil
+}
+
+// validateRails checks a rail table: at least two entries, finite, strictly
+// descending, every rail above the threshold voltage.
+func validateRails(rails []float64, vt float64) error {
+	if len(rails) < 2 {
+		return fmt.Errorf("cell: rail table needs at least two supplies, got %d", len(rails))
+	}
+	for i, r := range rails {
+		if math.IsNaN(r) || math.IsInf(r, 0) || r <= 0 {
+			return fmt.Errorf("cell: rail[%d] %v must be a positive finite voltage", i, r)
+		}
+		if r <= vt {
+			return fmt.Errorf("cell: rail[%d] %.2f must exceed Vt %.2f", i, r, vt)
+		}
+		if i > 0 && r >= rails[i-1] {
+			return fmt.Errorf("cell: rail[%d] %.2f must be below rail[%d] %.2f", i, r, i-1, rails[i-1])
+		}
+	}
+	return nil
+}
+
+// retarget installs a rail table on the library: the alias fields, the
+// per-rail derate table (the same alpha-power-law ratio NewLibrary has always
+// used, per rail), and the rail-pair level-converter table. The crossing that
+// spans the full table reuses the base FLCONV cell unchanged; narrower
+// crossings get synthesised copies with intrinsic delay, internal switching
+// capacitance and standing power scaled by their relative swing.
+func (l *Library) retarget(rails []float64) {
+	l.rails = append([]float64(nil), rails...)
+	l.Vhigh, l.Vlow = rails[0], rails[len(rails)-1]
+	l.derates = make([]float64, len(rails))
+	l.derates[0] = 1.0
+	base := voltageFactor(rails[0], l.Vt, l.Alpha)
+	for i := 1; i < len(rails); i++ {
+		l.derates[i] = voltageFactor(rails[i], l.Vt, l.Alpha) / base
+	}
+	l.derate = l.derates[len(rails)-1]
+
+	span := rails[0] - rails[len(rails)-1]
+	l.lcPair = make([][]*Cell, len(rails))
+	l.lcStatic = map[*Cell]float64{l.lconv: l.LCStaticPower}
+	for from := 1; from < len(rails); from++ {
+		l.lcPair[from] = make([]*Cell, from)
+		for to := 0; to < from; to++ {
+			scale := (rails[to] - rails[from]) / span
+			if scale == 1.0 {
+				l.lcPair[from][to] = l.lconv
+				continue
+			}
+			c := *l.lconv
+			c.Name = fmt.Sprintf("%s_r%dr%d", l.lconv.Name, from, to)
+			c.Intrinsic = make([]float64, len(l.lconv.Intrinsic))
+			for pin, d := range l.lconv.Intrinsic {
+				c.Intrinsic[pin] = d * scale
+			}
+			c.InternalCap = l.lconv.InternalCap * scale
+			l.lcPair[from][to] = &c
+			l.lcStatic[&c] = l.LCStaticPower * scale
+		}
+	}
 }
 
 // AtVlow returns a copy of the library retargeted to a different low rail.
@@ -167,31 +256,47 @@ func (l *Library) AtVlow(vlow float64) (*Library, error) {
 	if vlow <= l.Vt {
 		return nil, fmt.Errorf("cell: Vlow %.2f must exceed Vt %.2f", vlow, l.Vt)
 	}
+	return l.AtRails([]float64{l.Vhigh, vlow})
+}
+
+// AtRails returns a copy of the library retargeted to a different rail table.
+// Like AtVlow it shares the cell data with the receiver and recomputes only
+// the per-rail derates and the rail-pair converter table with exactly the
+// formulas NewLibraryRails uses, so the retargeted library is bit-identical
+// to a from-scratch build at the same table. The nominal rail must match the
+// receiver's: everything prepared at Vhigh (mapping, baseline timing,
+// activities) stays valid across the retarget.
+func (l *Library) AtRails(rails []float64) (*Library, error) {
+	if err := validateRails(rails, l.Vt); err != nil {
+		return nil, err
+	}
+	if rails[0] != l.Vhigh {
+		return nil, fmt.Errorf("cell: retarget rail[0] %.2f must keep Vhigh %.2f", rails[0], l.Vhigh)
+	}
 	cp := *l
-	cp.Vlow = vlow
-	cp.derate = voltageFactor(vlow, l.Vt, l.Alpha) / voltageFactor(l.Vhigh, l.Vt, l.Alpha)
+	cp.retarget(rails)
 	return &cp, nil
 }
 
-// LowDerate returns the delay multiplier applied to cells powered at Vlow.
-// It is strictly greater than 1: low-voltage gates are slower.
+// LowDerate returns the delay multiplier applied to cells powered at the
+// deepest rail. It is strictly greater than 1: low-voltage gates are slower.
 func (l *Library) LowDerate() float64 { return l.derate }
 
-// Derate returns the delay multiplier for a voltage level (1.0 at VHigh).
-func (l *Library) Derate(v VoltLevel) float64 {
-	if v == VLow {
-		return l.derate
-	}
-	return 1.0
-}
+// Derate returns the delay multiplier of a rail (1.0 at VHigh).
+func (l *Library) Derate(v VoltLevel) float64 { return l.derates[v] }
 
 // VddOf returns the rail voltage of a level.
-func (l *Library) VddOf(v VoltLevel) float64 {
-	if v == VLow {
-		return l.Vlow
-	}
-	return l.Vhigh
-}
+func (l *Library) VddOf(v VoltLevel) float64 { return l.rails[v] }
+
+// Rails returns the sorted rail table. The slice is shared; callers must not
+// modify it.
+func (l *Library) Rails() []float64 { return l.rails }
+
+// NumRails returns how many supply rails the library carries.
+func (l *Library) NumRails() int { return len(l.rails) }
+
+// Deepest returns the lowest rail's level index.
+func (l *Library) Deepest() VoltLevel { return VoltLevel(len(l.rails) - 1) }
 
 // PowerRatio returns (Vlow/Vhigh)², the per-gate switching power ratio that
 // motivates the whole exercise (equation (1) of the paper).
@@ -251,5 +356,27 @@ func (l *Library) Downsize(c *Cell) *Cell {
 }
 
 // LevelConverter returns the level-restoration cell inserted at low→high
-// driving boundaries (after Usami–Horowitz [8] and Wang et al. [10]).
+// driving boundaries (after Usami–Horowitz [8] and Wang et al. [10]). It is
+// the converter for the full-span crossing, deepest rail to nominal.
 func (l *Library) LevelConverter() *Cell { return l.lconv }
+
+// LevelConverterFor returns the converter cell for a from→to rail crossing
+// (from is the lower rail, so from > to as indices). The full-span crossing
+// returns the base FLCONV cell; narrower crossings return swing-scaled
+// copies.
+func (l *Library) LevelConverterFor(from, to VoltLevel) *Cell {
+	if from <= to || int(from) >= len(l.rails) || to < 0 {
+		panic(fmt.Sprintf("cell: invalid level-converter pair %d→%d over %d rails", from, to, len(l.rails)))
+	}
+	return l.lcPair[from][to]
+}
+
+// LCStaticPowerFor returns the standing power of a level-converter cell:
+// LCStaticPower for the base FLCONV cell, swing-scaled for pair cells. An
+// unknown cell is charged the base rate.
+func (l *Library) LCStaticPowerFor(c *Cell) float64 {
+	if p, ok := l.lcStatic[c]; ok {
+		return p
+	}
+	return l.LCStaticPower
+}

@@ -454,6 +454,100 @@ func TestChaosPoisonQuarantine(t *testing.T) {
 	}
 }
 
+// metricsRunner is the slice of a service the dedup regression drives: any
+// Runner that also exposes its counters (Local and fleet.Coordinator both do).
+type metricsRunner interface {
+	dualvdd.Runner
+	Metrics() dualvdd.Metrics
+}
+
+// TestChaosRetriedSubmitDedup is the double-submit regression. The first
+// POST /v1/jobs lands and the service admits the job — but the response dies
+// mid-body with ECONNRESET, so the client cannot know and retries the POST.
+// The service must recognize the in-flight twin by content address and answer
+// with its live ID: one job queued, one computed, nothing charged twice.
+// Proven through both service shapes behind the same HTTP front door: a
+// worker (Local) and a fleet coordinator.
+func TestChaosRetriedSubmitDedup(t *testing.T) {
+	seed := chaosSeed(t)
+
+	shapes := []struct {
+		name  string
+		build func(t *testing.T) metricsRunner
+	}{
+		{"local", func(t *testing.T) metricsRunner {
+			l := dualvdd.NewLocal()
+			t.Cleanup(func() {
+				ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+				defer cancel()
+				_ = l.Close(ctx)
+			})
+			return l
+		}},
+		{"fleet", func(t *testing.T) metricsRunner {
+			workers := []*chaosWorker{newChaosWorker(t)}
+			co, err := fleet.New(workerURLs(workers), fleet.WithDialer(func(url string) (fleet.WorkerClient, error) {
+				return client.New(url, client.WithRetry(2, 10*time.Millisecond, 50*time.Millisecond))
+			}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() {
+				ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+				defer cancel()
+				_ = co.Close(ctx)
+			})
+			return co
+		}},
+	}
+	for _, shape := range shapes {
+		t.Run(shape.name, func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			svc := shape.build(t)
+			ts := httptest.NewServer(server.New(svc))
+			defer ts.Close()
+
+			// Cut exactly the first response, two bytes in: the submission
+			// answer — not the request — is what dies in transit.
+			tr := chaos.NewTransport(nil, chaos.NewSource(seed).Fork("dedup:"+shape.name),
+				chaos.TransportFaults{PReset: 1, ResetAfter: 2, ResetBudget: 1})
+			c, err := client.New(ts.URL,
+				client.WithHTTPClient(&http.Client{Transport: tr}),
+				client.WithRetry(4, 5*time.Millisecond, 25*time.Millisecond),
+				client.WithJitterSeed(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Slow enough that the retry lands while the first admission is
+			// still in flight — the window the idempotency must cover.
+			id, err := c.Submit(ctx, dualvdd.BenchmarkJob("des", dualvdd.WithSimWords(2048)))
+			if err != nil {
+				t.Fatalf("submit did not survive the cut response: %v", err)
+			}
+			st, err := c.Result(ctx, id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.State != dualvdd.JobDone {
+				t.Fatalf("job ended %s: %s", st.State, st.Error)
+			}
+			if tr.Injected() == 0 {
+				t.Fatal("the reset never fired — the run was fault-free and proves nothing")
+			}
+			m := svc.Metrics()
+			if m.SubmitDedups != 1 {
+				t.Fatalf("SubmitDedups = %d, want 1 (the retry was not absorbed)", m.SubmitDedups)
+			}
+			if m.JobsDone != 1 || m.CacheMisses != 1 {
+				t.Fatalf("done=%d misses=%d, want 1/1: the retried POST spawned a duplicate job",
+					m.JobsDone, m.CacheMisses)
+			}
+		})
+	}
+}
+
 // TestChaosDegradedStore is the ENOSPC end-to-end: a Local whose primary
 // cache fails every write degrades to its in-memory fallback, keeps serving
 // bit-identical results, reports StoreDegraded, and repeat submissions hit

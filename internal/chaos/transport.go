@@ -23,6 +23,14 @@ type TransportFaults struct {
 	// PReset cuts the response body mid-stream with ECONNRESET after a few
 	// bytes — the mid-response peer reset that exercises SSE reconnect.
 	PReset float64
+	// ResetAfter is how many response-body bytes pass before an injected
+	// reset fires (default 64). Small JSON responses — a job submission
+	// answer is under that — need a tighter window for the cut to land
+	// mid-body rather than after the payload already made it through.
+	ResetAfter int
+	// ResetBudget caps how many resets PReset may inject; 0 means unlimited.
+	// A scripted "cut exactly the first response" is PReset 1, ResetBudget 1.
+	ResetBudget int
 	// P5xx synthesizes a 502 from an intermediary without calling the inner
 	// transport.
 	P5xx float64
@@ -47,6 +55,7 @@ type Transport struct {
 
 	requests atomic.Int64
 	injected atomic.Int64
+	resets   atomic.Int64
 }
 
 // NewTransport wraps inner (nil means http.DefaultTransport) with the given
@@ -98,9 +107,14 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 	if err != nil {
 		return nil, err
 	}
-	if t.src.Roll(t.f.PReset) {
+	if t.src.Roll(t.f.PReset) && (t.f.ResetBudget == 0 || t.resets.Load() < int64(t.f.ResetBudget)) {
 		t.injected.Add(1)
-		resp.Body = &cutReader{inner: resp.Body, remain: 64}
+		t.resets.Add(1)
+		after := t.f.ResetAfter
+		if after <= 0 {
+			after = 64
+		}
+		resp.Body = &cutReader{inner: resp.Body, remain: after}
 	}
 	return resp, nil
 }

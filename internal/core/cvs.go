@@ -44,10 +44,18 @@ const ctxStride = 256
 // re-times only the affected cones (the paper's update_timing) instead of the
 // whole circuit. Progress events report under algo (the outer algorithm when
 // nested) with the given round number.
+//
+// Under a multi-rail library each gate is demoted one rail step at a time
+// while the clustering rule holds at the next step (every consumer already at
+// or below the target rail — crossing a rail boundary downward would need a
+// level converter, which CVS never inserts) and the step's delay fits the
+// slack. At a two-rail library the loop degenerates to the classic single
+// VHigh→VLow decision, bit for bit.
 func cvsOn(inc *sta.Incremental, ckt *netlist.Circuit, opts *Options, algo string, round int) (*CVSResult, error) {
 	res := &CVSResult{}
 	order := inc.Order()
 	fan := inc.Fanouts()
+	deepest := inc.Library().Deepest()
 	for i := len(order) - 1; i >= 0; i-- {
 		if i%ctxStride == 0 {
 			if err := opts.interrupted(); err != nil {
@@ -56,25 +64,27 @@ func cvsOn(inc *sta.Incremental, ckt *netlist.Circuit, opts *Options, algo strin
 		}
 		gi := order[i]
 		g := ckt.Gates[gi]
-		if g.Dead || g.IsLC || g.Volt == cell.VLow {
+		if g.Dead || g.IsLC || g.Volt >= deepest {
 			continue
 		}
-		eligible, _ := lowEligible(ckt, fan, gi)
-		if !eligible {
-			continue
-		}
-		out := ckt.GateSignal(gi)
-		delta := inc.DeltaLow(gi)
-		if inc.Slack[out]-delta >= opts.Eps {
+		for g.Volt < deepest {
+			eligible, _ := lowEligible(ckt, fan, gi, g.Volt+1)
+			if !eligible {
+				break
+			}
+			out := ckt.GateSignal(gi)
+			delta := inc.DeltaStep(gi)
+			if inc.Slack[out]-delta < opts.Eps {
+				res.TCB = append(res.TCB, gi)
+				break
+			}
 			// update_timing: arrivals grow downstream and required times
 			// shrink upstream, so gates examined later (our fanins) see
 			// fresh slacks.
-			inc.SetVolt(gi, cell.VLow)
+			inc.SetVolt(gi, g.Volt+1)
 			res.Lowered++
 			opts.emit(Event{Algorithm: algo, Kind: EventMove, Round: round, Gate: gi})
-			continue
 		}
-		res.TCB = append(res.TCB, gi)
 	}
 	sort.Ints(res.TCB)
 	return res, nil

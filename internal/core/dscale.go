@@ -31,31 +31,50 @@ type candidate struct {
 }
 
 // evalCandidate implements the paper's check_timing plus power weighting for
-// one high-voltage gate: could it take Vlow within its slack, and what would
+// one gate: could it demote one rail step within its slack, and what would
 // the exact net power gain be once level-restoration costs are charged? It
 // reads the live incremental annotation; nothing is recomputed globally.
+//
+// Under a multi-rail library the candidate move is "demote one rail step"
+// (rail i → i+1). Consumers on rails above the target need the restored swing
+// and hang off a level converter for the crossing; consumers at or below the
+// target (and POs) stay directly connected. The converter is powered at the
+// highest rail among the restored consumers, with the pair cell for that
+// crossing. A gate already driving a converter is not a candidate: its
+// crossing is fixed at insertion (the converter would need rebinding), so the
+// gate holds its rail. At two rails all of this collapses to the classic
+// VHigh→VLow evaluation, bit for bit.
 func evalCandidate(ckt *netlist.Circuit, lib *cell.Library, inc *sta.Incremental,
 	act []float64, fclk float64, gi int) (candidate, bool) {
 	g := ckt.Gates[gi]
 	out := ckt.GateSignal(gi)
 	conns := inc.Fanouts().Conns[out]
+	newVolt := g.Volt + 1
 
-	// Split consumers: high-voltage gates will hang off a level converter;
-	// low gates and POs stay directly connected.
+	// Split consumers: gates above the target rail will hang off a level
+	// converter; gates at or below it and POs stay directly connected.
 	var highCap float64
 	nHigh := 0
+	dest := newVolt
 	for _, cn := range conns {
 		cg := ckt.Gates[cn.Gate]
-		if cg.Volt == cell.VHigh {
+		if cg.IsLC {
+			return candidate{}, false // crossing fixed at insertion; hold the rail
+		}
+		if cg.Volt < newVolt {
 			highCap += cg.Cell.InputCap[cn.Pin]
 			nHigh++
+			if cg.Volt < dest {
+				dest = cg.Volt
+			}
 		}
 	}
-	lc := lib.LevelConverter()
+	var lc *cell.Cell
 	oldLoad := inc.Load[out]
 	newLoad := oldLoad
 	lcLoad := 0.0
 	if nHigh > 0 {
+		lc = lib.LevelConverterFor(newVolt, dest)
 		newLoad = oldLoad - highCap - lib.WireCapPerFanout*float64(nHigh) +
 			lc.InputCap[0] + lib.WireCapPerFanout
 		lcLoad = highCap + lib.WireCapPerFanout*float64(nHigh)
@@ -65,7 +84,7 @@ func evalCandidate(ckt *netlist.Circuit, lib *cell.Library, inc *sta.Incremental
 	// level converter additionally pay the converter's delay. Requiring the
 	// gate's slack to cover both is conservative (the LC sits on a subset of
 	// the fanout paths).
-	derate := lib.LowDerate()
+	derate := lib.Derate(newVolt)
 	newArr := 0.0
 	for pin, s := range g.In {
 		a := inc.Arrival[s] + g.Cell.Delay(pin, newLoad, derate)
@@ -76,18 +95,18 @@ func evalCandidate(ckt *netlist.Circuit, lib *cell.Library, inc *sta.Incremental
 	deltaArr := newArr - inc.Arrival[out]
 	lcDelay := 0.0
 	if nHigh > 0 {
-		lcDelay = lc.MaxDelay(lcLoad, 1.0)
+		lcDelay = lc.MaxDelay(lcLoad, lib.Derate(dest))
 	}
 
 	// Power: exact local difference under unchanged activities (the level
 	// converter is a buffer, so no activity changes anywhere).
-	vh, vl := lib.Vhigh, lib.Vlow
+	vh, vl := lib.VddOf(g.Volt), lib.VddOf(newVolt)
 	a := act[out]
 	before := power.Switch(a, fclk, oldLoad+g.Cell.InternalCap, vh)
 	after := power.Switch(a, fclk, newLoad+g.Cell.InternalCap, vl)
 	lcCost := 0.0
 	if nHigh > 0 {
-		lcCost = power.Switch(a, fclk, lcLoad+lc.InternalCap, vh) + lib.LCStaticPower
+		lcCost = power.Switch(a, fclk, lcLoad+lc.InternalCap, lib.VddOf(dest)) + lib.LCStaticPowerFor(lc)
 	}
 	gain := before - after - lcCost
 	return candidate{gate: gi, deltaArr: deltaArr, lcDelay: lcDelay, gain: gain, needLC: nHigh > 0}, true
@@ -206,7 +225,7 @@ func (st *dscaleState) gateContrib(gi int) float64 {
 	vdd := st.lib.VddOf(g.Volt)
 	c := power.Switch(st.act[out], st.opts.Fclk, st.inc.Load[out]+g.Cell.InternalCap, vdd)
 	if g.IsLC {
-		c += st.lib.LCStaticPower
+		c += st.lib.LCStaticPowerFor(g.Cell)
 	}
 	return c
 }
@@ -259,7 +278,7 @@ func (st *dscaleState) reeval(gi int) {
 	st.candValid[gi] = true
 	st.candOK[gi] = false
 	g := st.ckt.Gates[gi]
-	if g.Dead || g.IsLC || g.Volt == cell.VLow {
+	if g.Dead || g.IsLC || g.Volt >= st.lib.Deepest() {
 		return
 	}
 	out := st.ckt.GateSignal(gi)
@@ -490,7 +509,7 @@ func livePower(ckt *netlist.Circuit, lib *cell.Library, inc *sta.Incremental, ac
 		vdd := lib.VddOf(g.Volt)
 		total += power.Switch(act[out], fclk, inc.Load[out]+g.Cell.InternalCap, vdd)
 		if g.IsLC {
-			total += lib.LCStaticPower
+			total += lib.LCStaticPowerFor(g.Cell)
 		}
 	}
 	return total
@@ -543,33 +562,43 @@ func (st *dscaleState) greedyIndependent(cands []candidate) []int {
 	return out
 }
 
-// applyLow moves gate gi to Vlow and inserts a level converter in front of
-// its high-voltage consumers ("insert necessary level restoration circuits"),
-// re-timing incrementally through the engine. One converter per net is shared
-// by all high consumers. The activity table gains the converter's (aliased)
-// activity, and the state absorbs the change journal so the touched region is
-// re-evaluated next round.
+// applyLow demotes gate gi one rail step and inserts a level converter in
+// front of the consumers left above the new rail ("insert necessary level
+// restoration circuits"), re-timing incrementally through the engine. One
+// converter per net is shared by all restored consumers; it carries the pair
+// cell for the crossing and is powered at the highest restored consumer's
+// rail. The activity table gains the converter's (aliased) activity, and the
+// state absorbs the change journal so the touched region is re-evaluated next
+// round.
 func (st *dscaleState) applyLow(gi int) error {
 	ckt, lib, inc := st.ckt, st.lib, st.inc
 	g := ckt.Gates[gi]
-	if g.Volt == cell.VLow {
-		return fmt.Errorf("core: gate %s already low", g.Name)
+	if g.Volt >= lib.Deepest() {
+		return fmt.Errorf("core: gate %s already at the deepest rail", g.Name)
 	}
+	newVolt := g.Volt + 1
 	out := ckt.GateSignal(gi)
 	var highConns []netlist.Conn
+	dest := newVolt
 	for _, cn := range inc.Fanouts().Conns[out] {
-		if ckt.Gates[cn.Gate].Volt == cell.VHigh {
+		if cg := ckt.Gates[cn.Gate]; cg.Volt < newVolt {
 			highConns = append(highConns, cn)
+			if cg.Volt < dest {
+				dest = cg.Volt
+			}
 		}
 	}
-	inc.SetVolt(gi, cell.VLow)
+	inc.SetVolt(gi, newVolt)
 	if len(highConns) == 0 {
 		st.absorb()
 		return nil
 	}
-	_, lcSig := inc.AddGate(fmt.Sprintf("$lc_%s", g.Name), lib.LevelConverter(), out)
+	lcIdx, lcSig := inc.AddGate(fmt.Sprintf("$lc_%s", g.Name), lib.LevelConverterFor(newVolt, dest), out)
 	lcGate := ckt.GateOf(lcSig)
 	lcGate.IsLC = true
+	if dest != cell.VHigh {
+		inc.SetVolt(lcIdx, dest)
+	}
 	st.act = append(st.act, st.act[out]) // the converter toggles with its source
 	for _, cn := range highConns {
 		if err := inc.RewirePin(cn.Gate, cn.Pin, lcSig); err != nil {
@@ -621,7 +650,7 @@ func (st *dscaleState) bypassRedundantLCs() {
 			st.lcs = append(st.lcs, gIdx)
 			continue
 		}
-		if g.Volt != cell.VLow {
+		if g.Volt == cell.VHigh {
 			continue
 		}
 		if len(g.In) > maxPins {
@@ -680,11 +709,15 @@ func (st *dscaleState) bypassRedundantLCs() {
 }
 
 // tryBypass checks one pair's eligibility against the live annotation and
-// applies the rewire when it passes. The checks mirror the original scan.
+// applies the rewire when it passes. The checks mirror the original scan. A
+// reduced-rail consumer can bypass its converter only when the converter's
+// source sits at or above the consumer's own rail — the unrestored swing must
+// still cover the consumer's supply (always true in the two-rail case, where
+// both are VLow).
 func (st *dscaleState) tryBypass(gIdx, pin int) bool {
 	ckt, lib, inc := st.ckt, st.lib, st.inc
 	g := ckt.Gates[gIdx]
-	if g.Dead || g.Volt != cell.VLow || g.IsLC {
+	if g.Dead || g.Volt == cell.VHigh || g.IsLC {
 		return false
 	}
 	drv := ckt.GateOf(g.In[pin])
@@ -695,6 +728,9 @@ func (st *dscaleState) tryBypass(gIdx, pin int) bool {
 	srcGate := ckt.GateOf(src)
 	if srcGate == nil {
 		return false
+	}
+	if srcGate.Volt > g.Volt {
+		return false // source swing below the consumer's rail; keep the converter
 	}
 	// Load change on the source net: it gains this consumer pin (the
 	// converter stays until it loses every consumer).

@@ -207,15 +207,18 @@ type Result struct {
 	SimTime time.Duration
 }
 
-// lowEligible reports whether gate gi may legally take Vlow under the
-// clustering rule: every consumer is a Vlow gate or a primary output. It
-// also reports whether the gate borders the existing low cluster (some
-// consumer is low) or the POs, which feeds the paper's TCB definition.
-func lowEligible(ckt *netlist.Circuit, fan *netlist.Fanouts, gi int) (eligible, borders bool) {
+// lowEligible reports whether gate gi may legally take the target rail under
+// the clustering rule: every consumer is already at or below the target rail
+// or a primary output — a consumer on a higher rail cannot accept the reduced
+// swing without a level converter, which CVS never inserts. It also reports
+// whether the gate borders the existing low cluster or the POs, which feeds
+// the paper's TCB definition. At a two-rail library with target VLow this is
+// exactly the classic "every consumer is a Vlow gate" rule.
+func lowEligible(ckt *netlist.Circuit, fan *netlist.Fanouts, gi int, target cell.VoltLevel) (eligible, borders bool) {
 	out := ckt.GateSignal(gi)
 	for _, cn := range fan.Conns[out] {
 		cg := ckt.Gates[cn.Gate]
-		if cg.Volt != cell.VLow {
+		if cg.Volt < target {
 			return false, false
 		}
 	}

@@ -152,16 +152,54 @@ func (c *Circuit) NumLCs() int {
 	return n
 }
 
-// NumLowGates counts live gates (including LCs, which never qualify) powered
-// at VLow.
+// NumLowGates counts live ordinary gates powered below the nominal rail
+// (level converters never qualify: in the two-rail case they always sit at
+// VHigh, and in the multi-rail case they are restoration circuitry, not
+// scaled logic).
 func (c *Circuit) NumLowGates() int {
 	n := 0
 	for _, g := range c.Gates {
-		if !g.Dead && g.Volt == cell.VLow {
+		if !g.Dead && !g.IsLC && g.Volt != cell.VHigh {
 			n++
 		}
 	}
 	return n
+}
+
+// RailGateCounts counts live ordinary (non-LC) gates per rail over an n-rail
+// table; entry i is the number of gates powered at rail i.
+func (c *Circuit) RailGateCounts(n int) []int {
+	counts := make([]int, n)
+	for _, g := range c.Gates {
+		if !g.Dead && !g.IsLC && int(g.Volt) < n {
+			counts[g.Volt]++
+		}
+	}
+	return counts
+}
+
+// LCCrossingCounts counts live level converters per rail crossing over an
+// n-rail table: entry [from][to] is the number of converters restoring a
+// rail-from swing for rail-to consumers (from is the converter's source
+// driver's rail, to the converter's own supply).
+func (c *Circuit) LCCrossingCounts(n int) [][]int {
+	m := make([][]int, n)
+	for i := range m {
+		m[i] = make([]int, n)
+	}
+	for _, g := range c.Gates {
+		if g.Dead || !g.IsLC || len(g.In) == 0 {
+			continue
+		}
+		drv := c.GateOf(g.In[0])
+		if drv == nil {
+			continue
+		}
+		if int(drv.Volt) < n && int(g.Volt) < n {
+			m[drv.Volt][g.Volt]++
+		}
+	}
+	return m
 }
 
 // Area returns the summed cell area of live gates.

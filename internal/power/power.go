@@ -60,8 +60,9 @@ func Estimate(c *netlist.Circuit, lib *cell.Library, act []float64, fclk float64
 		b.Switching += sw
 		b.Internal += in
 		if g.IsLC {
-			b.LCStatic += lib.LCStaticPower
-			p += lib.LCStaticPower
+			lcp := lib.LCStaticPowerFor(g.Cell)
+			b.LCStatic += lcp
+			p += lcp
 		}
 		b.PerGate[gi] = p
 	}

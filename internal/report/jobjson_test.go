@@ -35,7 +35,7 @@ func TestJobRequestDefaultsConfig(t *testing.T) {
 		t.Fatal(err)
 	}
 	job := req.Job()
-	if job.Config != dualvdd.DefaultConfig() {
+	if !reflect.DeepEqual(job.Config, dualvdd.DefaultConfig()) {
 		t.Fatalf("omitted config did not default: %+v", job.Config)
 	}
 	if err := job.Validate(); err != nil {

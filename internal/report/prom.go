@@ -50,6 +50,10 @@ var promMetrics = []promMetric{
 		func(m dualvdd.Metrics) int64 { return int64(m.StoreDegraded) }, true},
 	{"dualvdd_budget_rejects_total", "counter", "Submissions refused at admission with an exhausted deadline budget.",
 		func(m dualvdd.Metrics) int64 { return m.BudgetRejects }, true},
+	{"dualvdd_submit_dedups_total", "counter", "Resubmissions absorbed by an in-flight job with the same content address.",
+		func(m dualvdd.Metrics) int64 { return m.SubmitDedups }, true},
+	{"dualvdd_multi_rail_jobs_total", "counter", "Accepted jobs configured with three or more supply rails.",
+		func(m dualvdd.Metrics) int64 { return m.MultiRailJobs }, true},
 	{"dualvdd_prep_builds_total", "counter", "Warm prepared-state constructions.",
 		func(m dualvdd.Metrics) int64 { return m.PrepBuilds }, true},
 	{"dualvdd_prep_reuses_total", "counter", "Runs that reused a warm prepared state.",

@@ -16,8 +16,9 @@ func goldenMetrics() dualvdd.Metrics {
 		JobsQueued: 2, JobsRunning: 1,
 		JobsDone: 40, JobsFailed: 3, JobsCancelled: 1,
 		CacheHits: 17, CacheMisses: 23, CacheEntries: 23, CacheBytes: 104857,
-		StoreErrors: 1, StoreDegraded: 1, BudgetRejects: 2,
-		PrepBuilds: 3, PrepReuses: 24, PrepGroups: 3,
+		StoreErrors: 1, StoreDegraded: 1, BudgetRejects: 2, SubmitDedups: 5,
+		MultiRailJobs: 7,
+		PrepBuilds:    3, PrepReuses: 24, PrepGroups: 3,
 		STAEvals: 123456, CandEvals: 7890, SimNs: 987654321,
 		WorkersLive: 2, WorkersDead: 1, PointsInFlight: 5,
 		Redispatches: 4, QuarantinedJobs: 1, AdmissionRejects: 6,

@@ -4,7 +4,9 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
+	"strings"
 
 	"dualvdd"
 )
@@ -29,6 +31,10 @@ type SweepRow struct {
 	SlackFactor float64 `json:"slack_factor"`
 	SimWords    int     `json:"sim_words"`
 	Seed        uint64  `json:"seed"`
+	// Rails is the point's full supply table for multi-rail points (three or
+	// more rails); empty for classic two-rail points, keeping their JSON
+	// bytes exactly what they were.
+	Rails []float64 `json:"rails,omitempty"`
 	// Algorithm names the row's scaling algorithm.
 	Algorithm string `json:"algorithm"`
 	// Cached reports the point was served from the runner's result cache.
@@ -50,6 +56,11 @@ type SweepRow struct {
 	Sized        int     `json:"sized"`
 	LowRatio     float64 `json:"low_ratio"`
 	AreaIncrease float64 `json:"area_increase"`
+	// RailGates and LCCross are the multi-rail breakdown (gates per rail
+	// index, level converters per crossed rail pair); empty for two-rail
+	// rows, mirroring FlowResult.
+	RailGates []int                `json:"rail_gates,omitempty"`
+	LCCross   []dualvdd.LCCrossing `json:"lc_crossings,omitempty"`
 	// Pareto marks the row as non-dominated within its circuit on
 	// (power min, worst slack max, LC count min).
 	Pareto bool `json:"pareto"`
@@ -85,12 +96,21 @@ func BuildSweep(results []dualvdd.SweepPointResult) *SweepResult {
 			name = d.Name
 		}
 		for _, fr := range pr.Status.Results {
+			if math.IsNaN(fr.WorstSlack) || math.IsNaN(fr.Power) {
+				// A NaN objective is never a result — the flow errors on a
+				// violated constraint instead of reporting one — so a row
+				// carrying it is a malformed input (a hand-built status, a
+				// corrupted decode). Rejected here: it must not reach the
+				// frontier, the CSV, or downstream tooling as data.
+				continue
+			}
 			keys = append(keys, pr.Point.Circuit)
 			sr.Rows = append(sr.Rows, SweepRow{
 				Index:        pr.Point.Index,
 				Circuit:      name,
 				Vhigh:        pr.Point.Config.Vhigh,
 				Vlow:         pr.Point.Config.Vlow,
+				Rails:        append([]float64(nil), pr.Point.Config.Rails...),
 				SlackFactor:  pr.Point.Config.SlackFactor,
 				SimWords:     pr.Point.Config.SimWords,
 				Seed:         pr.Point.Config.Seed,
@@ -106,6 +126,8 @@ func BuildSweep(results []dualvdd.SweepPointResult) *SweepResult {
 				Sized:        fr.Sized,
 				LowRatio:     fr.LowRatio,
 				AreaIncrease: fr.AreaIncrease,
+				RailGates:    append([]int(nil), fr.RailGates...),
+				LCCross:      append([]dualvdd.LCCrossing(nil), fr.LCCross...),
 			})
 		}
 	}
@@ -153,10 +175,42 @@ func (s *SweepResult) WriteJSON(w io.Writer) error {
 }
 
 // sweepCSVHeader is the fixed CSV column set, one column per SweepRow field.
+// The multi-rail columns trail the classic set, so two-rail consumers keep
+// their column positions; on two-rail rows the trailing cells are empty.
 var sweepCSVHeader = []string{
 	"index", "circuit", "vhigh", "vlow", "slack_factor", "sim_words", "seed",
 	"algorithm", "cached", "power_uw", "improve_pct", "worst_slack_ns",
 	"gates", "low_gates", "lcs", "sized", "low_ratio", "area_increase", "pareto",
+	"rails", "rail_gates", "lc_crossings",
+}
+
+// railsCell joins a rail table for one CSV cell ("5;4.3;3.6"); empty for
+// two-rail rows.
+func railsCell(rails []float64) string {
+	parts := make([]string, len(rails))
+	for i, r := range rails {
+		parts[i] = strconv.FormatFloat(r, 'g', -1, 64)
+	}
+	return strings.Join(parts, ";")
+}
+
+// railGatesCell joins the per-rail gate counts ("12;5;3").
+func railGatesCell(counts []int) string {
+	parts := make([]string, len(counts))
+	for i, c := range counts {
+		parts[i] = strconv.Itoa(c)
+	}
+	return strings.Join(parts, ";")
+}
+
+// lcCrossCell encodes the crossing counts ("2>0:4;1>0:2" — four converters
+// restoring rail 2 to rail 0, two restoring rail 1 to rail 0).
+func lcCrossCell(cross []dualvdd.LCCrossing) string {
+	parts := make([]string, len(cross))
+	for i, c := range cross {
+		parts[i] = fmt.Sprintf("%d>%d:%d", c.From, c.To, c.LCs)
+	}
+	return strings.Join(parts, ";")
 }
 
 // WriteCSV emits the report as RFC-4180 CSV with a header row. Floats use
@@ -178,6 +232,7 @@ func (s *SweepResult) WriteCSV(w io.Writer) error {
 			strconv.Itoa(r.Gates), strconv.Itoa(r.LowGates),
 			strconv.Itoa(r.LCs), strconv.Itoa(r.Sized),
 			f(r.LowRatio), f(r.AreaIncrease), strconv.FormatBool(r.Pareto),
+			railsCell(r.Rails), railGatesCell(r.RailGates), lcCrossCell(r.LCCross),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err
@@ -188,12 +243,26 @@ func (s *SweepResult) WriteCSV(w io.Writer) error {
 }
 
 // WriteSweepTable renders a human-readable table grouped by circuit, the
-// CLI's default output. Frontier rows carry a trailing '*'.
+// CLI's default output. Frontier rows carry a trailing '*'. When any row ran
+// on more than two rails, a trailing rails column shows each row's full
+// supply table with its per-rail gate split and crossing counts; pure
+// two-rail tables keep the classic column set.
 func WriteSweepTable(w io.Writer, s *SweepResult) error {
+	multi := false
+	for _, r := range s.Rows {
+		if len(r.Rails) > 0 {
+			multi = true
+			break
+		}
+	}
 	ew := &errW{w: w}
-	ew.p("%-10s %5s %5s %6s %6s %-7s %10s %8s %9s %5s %7s\n",
+	ew.p("%-10s %5s %5s %6s %6s %-7s %10s %8s %9s %5s %7s",
 		"circuit", "vddh", "vddl", "slack", "words", "algo",
 		"power(uW)", "saved%", "slack(ns)", "LCs", "pareto")
+	if multi {
+		ew.p("  %s", "rails gates@rail lc-crossings")
+	}
+	ew.p("\n")
 	for _, r := range s.Rows {
 		star := ""
 		if r.Pareto {
@@ -203,9 +272,13 @@ func WriteSweepTable(w io.Writer, s *SweepResult) error {
 		if r.Cached {
 			cached = " (cached)"
 		}
-		ew.p("%-10s %5.2f %5.2f %6.2f %6d %-7s %10.2f %8.2f %9.4f %5d %7s%s\n",
+		ew.p("%-10s %5.2f %5.2f %6.2f %6d %-7s %10.2f %8.2f %9.4f %5d %7s%s",
 			r.Circuit, r.Vhigh, r.Vlow, r.SlackFactor, r.SimWords, r.Algorithm,
 			r.PowerUW, r.ImprovePct, r.WorstSlackNs, r.LCs, star, cached)
+		if multi && len(r.Rails) > 0 {
+			ew.p("  %s %s %s", railsCell(r.Rails), railGatesCell(r.RailGates), lcCrossCell(r.LCCross))
+		}
+		ew.p("\n")
 	}
 	if ew.err == nil {
 		_, ew.err = fmt.Fprintf(w, "%d rows, %d on the Pareto frontier\n",

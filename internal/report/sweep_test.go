@@ -3,6 +3,7 @@ package report
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"reflect"
 	"strings"
 	"testing"
@@ -117,6 +118,39 @@ func TestBuildSweepParetoKeysOnCircuitIdentity(t *testing.T) {
 			t.Fatalf("row %d (%s, %g W) lost its frontier flag to a same-named circuit",
 				i, r.Circuit, r.PowerUW)
 		}
+	}
+}
+
+// TestBuildSweepRejectsNaN pins the NaN gate: a result row carrying a NaN
+// objective (a hand-built status or a corrupted decode — the flow itself
+// errors instead of reporting NaN) must not become a SweepRow, where IEEE
+// comparison semantics would once have parked it on the Pareto frontier
+// forever.
+func TestBuildSweepRejectsNaN(t *testing.T) {
+	nan := math.NaN()
+	mk := func(power, slack float64) dualvdd.SweepPointResult {
+		return dualvdd.SweepPointResult{
+			Point: dualvdd.SweepPoint{
+				Circuit:    dualvdd.SweepCircuit{Benchmark: "C880"},
+				Config:     dualvdd.DefaultConfig(),
+				Algorithms: []dualvdd.Algorithm{dualvdd.AlgoGscale},
+			},
+			Status: &dualvdd.JobStatus{
+				State:   dualvdd.JobDone,
+				Results: []*dualvdd.FlowResult{{Algorithm: "Gscale", Power: power, WorstSlack: slack}},
+			},
+		}
+	}
+	res := BuildSweep([]dualvdd.SweepPointResult{
+		mk(2e-5, nan),  // NaN slack: dropped
+		mk(nan, 0.01),  // NaN power: dropped
+		mk(3e-5, 0.01), // finite: kept, and on the frontier alone
+	})
+	if len(res.Rows) != 1 {
+		t.Fatalf("NaN rows survived: %d rows", len(res.Rows))
+	}
+	if r := res.Rows[0]; r.PowerUW != 3e-5*1e6 || !r.Pareto {
+		t.Fatalf("surviving row wrong: %+v", r)
 	}
 }
 

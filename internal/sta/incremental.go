@@ -134,11 +134,12 @@ func (t *Incremental) Library() *cell.Library { return t.lib }
 // SetLibrary swaps the engine's library without re-analysing. It is only
 // legal when the swap preserves the annotation bit for bit: the new library
 // must share the old one's cell data and wire parameters (cell.Library.AtVlow
-// guarantees this) and every live gate must sit at VHigh with no level
-// converters present — at that baseline the derate of every instance is
-// exactly 1.0 under any low rail, so arrivals, requireds, slacks and loads
-// are Vlow-independent. A warm sweep calls this between points to retarget
-// one baseline engine across its VDDL axis. The engine checks the gate
+// and AtRails guarantee this) and every live gate must sit at VHigh with no
+// level converters present — at that baseline the derate of every instance is
+// exactly 1.0 under any reduced-rail table, so arrivals, requireds, slacks
+// and loads are independent of the rails below the nominal one. A warm sweep
+// calls this between points to retarget one baseline engine across its VDDL
+// (or rail-table) axis. The engine checks the gate
 // condition and refuses the swap otherwise.
 func (t *Incremental) SetLibrary(lib *cell.Library) error {
 	if lib.Vhigh != t.lib.Vhigh || lib.WireCapPerFanout != t.lib.WireCapPerFanout ||
@@ -239,6 +240,14 @@ func (t *Incremental) GateArrival(gi int, volt cell.VoltLevel) float64 {
 func (t *Incremental) DeltaLow(gi int) float64 {
 	out := t.ckt.GateSignal(gi)
 	return t.GateArrival(gi, cell.VLow) - t.Arrival[out]
+}
+
+// DeltaStep returns the arrival increase at gi's output if the gate alone
+// demoted one rail step (its current level plus one). At a two-rail library
+// a VHigh gate's step is exactly DeltaLow.
+func (t *Incremental) DeltaStep(gi int) float64 {
+	out := t.ckt.GateSignal(gi)
+	return t.GateArrival(gi, t.ckt.Gates[gi].Volt+1) - t.Arrival[out]
 }
 
 // GateArrivalWithCell recomputes gi's output arrival as if bound to cl with

@@ -37,15 +37,16 @@ type Local struct {
 	cache   ResultCache
 	journal JobStore
 
-	mu      sync.Mutex
-	jobs    map[JobID]*localJob      // guarded by mu
-	retired []JobID                  // guarded by mu; terminal jobs in completion order, oldest first
-	order   int64                    // guarded by mu
-	closed  bool                     // guarded by mu
-	idle    chan struct{}            // closed when the worker pool exits; receiving needs no lock
-	warm    map[string]*list.Element // guarded by mu
-	warmLRU *list.List               // guarded by mu; front = most recent; values are *warmEntry
-	metrics Metrics                  // guarded by mu
+	mu       sync.Mutex
+	jobs     map[JobID]*localJob      // guarded by mu
+	inflight map[string]JobID         // guarded by mu; content key → live job, for idempotent resubmission
+	retired  []JobID                  // guarded by mu; terminal jobs in completion order, oldest first
+	order    int64                    // guarded by mu
+	closed   bool                     // guarded by mu
+	idle     chan struct{}            // closed when the worker pool exits; receiving needs no lock
+	warm     map[string]*list.Element // guarded by mu
+	warmLRU  *list.List               // guarded by mu; front = most recent; values are *warmEntry
+	metrics  Metrics                  // guarded by mu
 }
 
 // warmEntry is one warm-prep group: every job whose warmPrepKey matches
@@ -175,6 +176,7 @@ func NewLocal(opts ...LocalOption) *Local {
 		cacheLimit: 256,
 		history:    1024,
 		jobs:       make(map[JobID]*localJob),
+		inflight:   make(map[string]JobID),
 		idle:       make(chan struct{}),
 		warm:       make(map[string]*list.Element),
 		warmLRU:    list.New(),
@@ -257,6 +259,16 @@ func (l *Local) Submit(ctx context.Context, job Job) (JobID, error) {
 		jcancel()
 		return "", ErrClosed
 	}
+	// Submission is idempotent on the job's content address while a matching
+	// job is in flight: a retried POST whose first attempt actually landed (the
+	// response died in transit, not the request) is answered with the live
+	// job's ID instead of queueing — and computing — a duplicate.
+	if prior, ok := l.inflight[key]; ok {
+		l.metrics.SubmitDedups++
+		l.mu.Unlock()
+		jcancel()
+		return prior, nil
+	}
 	l.order++
 	j.seq = l.order
 	id := JobID(fmt.Sprintf("job-%06d-%s", j.seq, key[:8]))
@@ -284,6 +296,14 @@ func (l *Local) Submit(ctx context.Context, job Job) (JobID, error) {
 		jcancel()
 		return "", ErrClosed
 	}
+	// Re-check under the lock that publishes in-flight jobs: a concurrent
+	// twin may have won the race while the cache lookup ran unlocked.
+	if prior, ok := l.inflight[key]; ok {
+		l.metrics.SubmitDedups++
+		l.mu.Unlock()
+		jcancel()
+		return prior, nil
+	}
 	if entry != nil {
 		l.metrics.CacheHits++
 		l.metrics.JobsDone++
@@ -297,7 +317,11 @@ func (l *Local) Submit(ctx context.Context, job Job) (JobID, error) {
 	select {
 	case l.queue <- j:
 		l.metrics.JobsQueued++
+		if job.Config.NumRails() > 2 {
+			l.metrics.MultiRailJobs++
+		}
 		l.jobs[id] = j
+		l.inflight[key] = id
 		l.mu.Unlock()
 		return id, nil
 	default:
@@ -610,6 +634,11 @@ func (l *Local) retire(j *localJob) {
 		}
 	}
 	l.mu.Lock()
+	// The job is terminal: later identical submissions must start fresh (or
+	// hit the result cache), not adopt this carcass.
+	if cur, ok := l.inflight[j.key]; ok && cur == j.status.ID {
+		delete(l.inflight, j.key)
+	}
 	l.retired = append(l.retired, j.status.ID)
 	for len(l.retired) > l.history {
 		delete(l.jobs, l.retired[0])
@@ -753,7 +782,7 @@ func (l *Local) executeWarm(j *localJob) (*DesignInfo, []*FlowResult, error) {
 	j.mu.Lock()
 	j.status.Warm = true
 	j.mu.Unlock()
-	results, err := entry.wd.RunAt(j.ctx, j.spec.Config.Vlow, j.spec.algorithms(), jobObserver(j))
+	results, err := entry.wd.RunAt(j.ctx, j.spec.Config.RailList(), j.spec.algorithms(), jobObserver(j))
 	if err != nil {
 		return design, nil, err
 	}

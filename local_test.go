@@ -237,9 +237,11 @@ func TestJobKeyCanonicalization(t *testing.T) {
 }
 
 // slowJob is a des run stretched with a large simulation so the test can
-// observe queued/running states deterministically.
-func slowJob() dualvdd.Job {
-	return dualvdd.BenchmarkJob("des", dualvdd.WithSimWords(4096))
+// observe queued/running states deterministically. The seed varies the content
+// address: identical submissions would dedup onto the in-flight job instead of
+// occupying queue slots.
+func slowJob(seed uint64) dualvdd.Job {
+	return dualvdd.BenchmarkJob("des", dualvdd.WithSimWords(4096), dualvdd.WithSeed(seed))
 }
 
 // waitState polls until the job reaches the wanted state.
@@ -268,20 +270,26 @@ func TestLocalQueueBoundAndCancel(t *testing.T) {
 		_ = l.Close(cctx) // cancels the leftovers; expiry expected
 	}()
 
-	running, err := l.Submit(ctx, slowJob())
+	running, err := l.Submit(ctx, slowJob(1))
 	if err != nil {
 		t.Fatal(err)
 	}
 	waitState(t, l, running, dualvdd.JobRunning)
 
 	// One slot in the queue…
-	queued, err := l.Submit(ctx, slowJob())
+	queued, err := l.Submit(ctx, slowJob(2))
 	if err != nil {
 		t.Fatal(err)
 	}
 	// …and the next submission bounces.
-	if _, err := l.Submit(ctx, slowJob()); !errors.Is(err, dualvdd.ErrQueueFull) {
+	if _, err := l.Submit(ctx, slowJob(3)); !errors.Is(err, dualvdd.ErrQueueFull) {
 		t.Fatalf("overfull submit returned %v, want ErrQueueFull", err)
+	}
+
+	// A resubmission of an in-flight job is not a third distinct job: it
+	// adopts the live one instead of bouncing off the full queue.
+	if id, err := l.Submit(ctx, slowJob(2)); err != nil || id != queued {
+		t.Fatalf("resubmit of queued job returned (%s, %v), want (%s, nil)", id, err, queued)
 	}
 
 	// Cancel the queued job: terminal immediately, without running.
@@ -311,6 +319,9 @@ func TestLocalQueueBoundAndCancel(t *testing.T) {
 	m := l.Metrics()
 	if m.JobsCancelled != 2 {
 		t.Fatalf("cancelled counter = %d, want 2", m.JobsCancelled)
+	}
+	if m.SubmitDedups != 1 {
+		t.Fatalf("submit dedups = %d, want 1", m.SubmitDedups)
 	}
 }
 

@@ -189,8 +189,10 @@ func (j Job) key() (string, *logic.Network, error) {
 		return "", nil, err
 	}
 	// SimWorkers is a scheduling knob with a bit-identical-results
-	// guarantee, so it must not split the content address.
-	hashCfg := j.Config
+	// guarantee, so it must not split the content address. The config is
+	// hashed in canonical form: a two-entry Rails folds into Vhigh/Vlow
+	// (Normalized), so `Rails: [5.0, 4.3]` shares the legacy pair's address.
+	hashCfg := j.Config.Normalized()
 	hashCfg.SimWorkers = 0
 	cfg, err := json.Marshal(hashCfg)
 	if err != nil {
@@ -211,7 +213,9 @@ func (j Job) key() (string, *logic.Network, error) {
 // warm-prep grouping of LocalWarmPrep — every point of one circuit's
 // low-rail sweep shares a GroupKey — which is why a fleet coordinator shards
 // on it: repeat traffic for one circuit lands on the worker whose prepared
-// state is already warm for it.
+// state is already warm for it. A multi-rail config keeps its full Rails
+// list in the group address, so points with distinct rail tables keep
+// distinct affinity.
 func (j Job) GroupKey() (string, error) {
 	_, net, err := j.key()
 	if err != nil {
@@ -335,6 +339,16 @@ type Metrics struct {
 	// BudgetRejects counts submissions refused at admission because their
 	// end-to-end deadline budget (WithJobBudget) was already exhausted.
 	BudgetRejects int64 `json:"budget_rejects,omitempty"`
+	// SubmitDedups counts resubmissions absorbed by an in-flight job with the
+	// same content address: typically a client retry whose first POST landed
+	// but whose response died in transit. The caller gets the live job's ID;
+	// nothing is queued, computed, or charged twice.
+	SubmitDedups int64 `json:"submit_dedups,omitempty"`
+	// MultiRailJobs counts accepted jobs configured with three or more supply
+	// rails (Config.Rails) — the slice of the workload on the multi-rail path
+	// rather than the paper's classic two-rail setup. Cache hits and dedups
+	// add nothing; like the eval counters, it measures actual computation.
+	MultiRailJobs int64 `json:"multi_rail_jobs,omitempty"`
 	// PrepBuilds and PrepReuses count warm prepared-state constructions and
 	// the runs that rode an existing one (LocalWarmPrep); PrepGroups is the
 	// current resident group count. Reuses/Builds is the warm path's

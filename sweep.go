@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync/atomic"
 	"time"
@@ -20,7 +21,8 @@ import (
 // made of.
 //
 // Expansion order (Points) is fixed and documented: circuits outermost, then
-// VDDH, VDDL, slack factor, sim words, and algorithm sets innermost, each
+// the supply axis (whole rail tables when Axes.Rails is set, otherwise VDDH
+// then VDDL), slack factor, sim words, and algorithm sets innermost, each
 // axis iterated in its given order with the rightmost axis varying fastest.
 // An omitted axis contributes the base value, so the zero Axes sweeps
 // exactly the base configuration across the circuits.
@@ -45,12 +47,15 @@ type SweepCircuit struct {
 	BLIF      string `json:"blif,omitempty"`
 }
 
-// label names the circuit for error messages and events.
-func (c SweepCircuit) label() string {
+// labelAt names the circuit for error messages and events. Inline BLIF models
+// have no name of their own, so they are labelled by their position in the
+// sweep's circuit list — "blif#0", "blif#1", … — keeping multi-inline sweeps
+// distinguishable in events, errors and table output.
+func (c SweepCircuit) labelAt(i int) string {
 	if c.Benchmark != "" {
 		return c.Benchmark
 	}
-	return "blif"
+	return fmt.Sprintf("blif#%d", i)
 }
 
 // SweepBenchmarks builds the circuit list for named MCNC benchmarks.
@@ -69,6 +74,12 @@ type Axes struct {
 	// VDDH and VDDL sweep the supply rails in volts.
 	VDDH []float64 `json:"vddh,omitempty"`
 	VDDL []float64 `json:"vddl,omitempty"`
+	// Rails sweeps whole supply tables (Config.Rails): each entry is one
+	// sorted, strictly descending rail list of two or more supplies. The
+	// axis replaces the VDDH×VDDL cross — setting it alongside VDDH or VDDL
+	// (or a multi-rail Base) is an expansion error, since a scalar rail
+	// override of a swept table would be silently ignored.
+	Rails [][]float64 `json:"rails,omitempty"`
 	// SlackFactor sweeps the timing-constraint relaxation.
 	SlackFactor []float64 `json:"slack_factor,omitempty"`
 	// SimWords sweeps the power-estimation simulation length.
@@ -86,7 +97,14 @@ type SweepPoint struct {
 	Circuit    SweepCircuit `json:"circuit"`
 	Config     Config       `json:"config"`
 	Algorithms []Algorithm  `json:"algorithms"`
+
+	// ci is the circuit's position in Sweep.Circuits, for labelling inline
+	// models ("blif#<ci>"). Process-local: it never crosses the wire.
+	ci int
 }
+
+// label names the point's circuit for errors and events.
+func (p SweepPoint) label() string { return p.Circuit.labelAt(p.ci) }
 
 // Job converts the point into the Runner job that computes it. The job's
 // content address is the point's identity: two sweeps sharing a point share
@@ -123,13 +141,41 @@ func (s Sweep) Points() ([]SweepPoint, error) {
 	if len(baseAlgos) == 0 {
 		baseAlgos = Algorithms()
 	}
-	vddh := s.Axes.VDDH
-	if len(vddh) == 0 {
-		vddh = []float64{base.Vhigh}
+	// The supply dimension: either whole rail tables (the Rails axis) or the
+	// classic VDDH×VDDL cross, never both — a scalar rail override of a swept
+	// table would be silently ignored, so the combination is refused loudly.
+	type railChoice struct {
+		vh, vl float64   // the classic pair (rails == nil)
+		rails  []float64 // a full rail table
 	}
-	vddl := s.Axes.VDDL
-	if len(vddl) == 0 {
-		vddl = []float64{base.Vlow}
+	var supplies []railChoice
+	if len(s.Axes.Rails) > 0 {
+		if len(s.Axes.VDDH) > 0 || len(s.Axes.VDDL) > 0 {
+			return nil, errors.New("dualvdd: sweep axes: Rails and VDDH/VDDL are mutually exclusive — sweep whole rail tables or the classic pair, not both")
+		}
+		for i, rv := range s.Axes.Rails {
+			if len(rv) < 2 {
+				return nil, fmt.Errorf("dualvdd: sweep axes: rails entry %d needs at least two supplies, got %d", i, len(rv))
+			}
+			supplies = append(supplies, railChoice{rails: rv})
+		}
+	} else {
+		if len(base.Rails) > 2 && (len(s.Axes.VDDH) > 0 || len(s.Axes.VDDL) > 0) {
+			return nil, errors.New("dualvdd: sweep axes: VDDH/VDDL cannot sweep a multi-rail Base — use the Rails axis")
+		}
+		vddh := s.Axes.VDDH
+		if len(vddh) == 0 {
+			vddh = []float64{base.Vhigh}
+		}
+		vddl := s.Axes.VDDL
+		if len(vddl) == 0 {
+			vddl = []float64{base.Vlow}
+		}
+		for _, vh := range vddh {
+			for _, vl := range vddl {
+				supplies = append(supplies, railChoice{vh: vh, vl: vl})
+			}
+		}
 	}
 	slack := s.Axes.SlackFactor
 	if len(slack) == 0 {
@@ -144,35 +190,46 @@ func (s Sweep) Points() ([]SweepPoint, error) {
 		sets = [][]Algorithm{baseAlgos}
 	}
 
-	points := make([]SweepPoint, 0, len(s.Circuits)*len(vddh)*len(vddl)*len(slack)*len(words)*len(sets))
+	points := make([]SweepPoint, 0, len(s.Circuits)*len(supplies)*len(slack)*len(words)*len(sets))
 	for ci, ckt := range s.Circuits {
 		if (ckt.Benchmark == "") == (ckt.BLIF == "") {
 			return nil, fmt.Errorf("dualvdd: sweep circuit %d needs exactly one of Benchmark or BLIF", ci)
 		}
-		for _, vh := range vddh {
-			for _, vl := range vddl {
-				for _, sf := range slack {
-					for _, sw := range words {
-						for _, algos := range sets {
-							cfg := base
-							cfg.Vhigh, cfg.Vlow = vh, vl
-							cfg.SlackFactor = sf
-							cfg.SimWords = sw
-							pt := SweepPoint{
-								Index:      len(points),
-								Circuit:    ckt,
-								Config:     cfg,
-								Algorithms: append([]Algorithm(nil), algos...),
-							}
-							if len(algos) == 0 {
-								return nil, fmt.Errorf("dualvdd: sweep point %d (%s): empty algorithm set", pt.Index, ckt.label())
-							}
-							if err := pt.Job().Validate(); err != nil {
-								return nil, fmt.Errorf("dualvdd: sweep point %d (%s, vddh=%g vddl=%g slack=%g words=%d): %w",
-									pt.Index, ckt.label(), vh, vl, sf, sw, err)
-							}
-							points = append(points, pt)
+		for _, rc := range supplies {
+			for _, sf := range slack {
+				for _, sw := range words {
+					for _, algos := range sets {
+						cfg := base
+						if rc.rails != nil {
+							cfg.Rails = append([]float64(nil), rc.rails...)
+						} else {
+							cfg.Vhigh, cfg.Vlow = rc.vh, rc.vl
 						}
+						cfg.SlackFactor = sf
+						cfg.SimWords = sw
+						// Canonical form: a two-entry rail table folds into
+						// the aliases, so its points share content addresses
+						// (and cache entries) with classic-pair points.
+						cfg = cfg.Normalized()
+						pt := SweepPoint{
+							Index:      len(points),
+							Circuit:    ckt,
+							Config:     cfg,
+							Algorithms: append([]Algorithm(nil), algos...),
+							ci:         ci,
+						}
+						if len(algos) == 0 {
+							return nil, fmt.Errorf("dualvdd: sweep point %d (%s): empty algorithm set", pt.Index, ckt.labelAt(ci))
+						}
+						if err := pt.Job().Validate(); err != nil {
+							if rc.rails != nil {
+								return nil, fmt.Errorf("dualvdd: sweep point %d (%s, rails=%v slack=%g words=%d): %w",
+									pt.Index, ckt.labelAt(ci), rc.rails, sf, sw, err)
+							}
+							return nil, fmt.Errorf("dualvdd: sweep point %d (%s, vddh=%g vddl=%g slack=%g words=%d): %w",
+								pt.Index, ckt.labelAt(ci), rc.vh, rc.vl, sf, sw, err)
+						}
+						points = append(points, pt)
 					}
 				}
 			}
@@ -196,6 +253,9 @@ func (s Sweep) Points() ([]SweepPoint, error) {
 // rarer than the partially filled Base the old rule broke on.
 func mergeDefaults(base Config) Config {
 	def := DefaultConfig()
+	// A Base that speaks Rails has its Vhigh/Vlow aliases derived first, so
+	// the pair merge below never fights the rail table.
+	base = base.Normalized()
 	if base.Vhigh == 0 {
 		base.Vhigh = def.Vhigh
 	}
@@ -383,7 +443,7 @@ func runSweepPoint(ctx context.Context, r Runner, pt SweepPoint, run sweepRun) (
 			break
 		}
 		if !errors.Is(err, ErrQueueFull) {
-			return nil, fmt.Errorf("sweep point %d (%s): %w", pt.Index, pt.Circuit.label(), err)
+			return nil, fmt.Errorf("sweep point %d (%s): %w", pt.Index, pt.label(), err)
 		}
 		select {
 		case <-ctx.Done():
@@ -447,15 +507,15 @@ func runSweepPoint(ctx context.Context, r Runner, pt SweepPoint, run sweepRun) (
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		return nil, fmt.Errorf("sweep point %d (%s): job cancelled: %s", pt.Index, pt.Circuit.label(), st.Error)
+		return nil, fmt.Errorf("sweep point %d (%s): job cancelled: %s", pt.Index, pt.label(), st.Error)
 	default:
-		return nil, fmt.Errorf("sweep point %d (%s): %s", pt.Index, pt.Circuit.label(), st.Error)
+		return nil, fmt.Errorf("sweep point %d (%s): %s", pt.Index, pt.label(), st.Error)
 	}
 }
 
 // sweepPointEvent builds the progress event for one completed point.
 func sweepPointEvent(pt SweepPoint, total int, st *JobStatus) EventSweepPoint {
-	name := pt.Circuit.label()
+	name := pt.label()
 	if st.Design != nil {
 		name = st.Design.Name
 	}
@@ -465,6 +525,7 @@ func sweepPointEvent(pt SweepPoint, total int, st *JobStatus) EventSweepPoint {
 		Circuit:     name,
 		Vhigh:       pt.Config.Vhigh,
 		Vlow:        pt.Config.Vlow,
+		Rails:       append([]float64(nil), pt.Config.Rails...),
 		SlackFactor: pt.Config.SlackFactor,
 		SimWords:    pt.Config.SimWords,
 		Algorithms:  append([]Algorithm(nil), pt.Algorithms...),
@@ -486,22 +547,42 @@ type ParetoPoint struct {
 }
 
 // dominates reports a ≼ b with at least one strict inequality: a is no worse
-// on every objective and better on one.
+// on every objective and better on one. A NaN objective is never "no worse"
+// than anything, so a NaN-carrying point dominates nothing — its frontier
+// exclusion is ParetoMask's job, not this comparison's.
 func (a ParetoPoint) dominates(b ParetoPoint) bool {
+	if !a.valid() {
+		// The "no worse on every objective" guard below cannot catch this
+		// itself: NaN compares false, so a NaN objective sails through it and
+		// could then win on a finite one.
+		return false
+	}
 	if a.Power > b.Power || a.WorstSlack < b.WorstSlack || a.LCs > b.LCs {
 		return false
 	}
 	return a.Power < b.Power || a.WorstSlack > b.WorstSlack || a.LCs < b.LCs
 }
 
+// valid reports whether every objective is an ordered number. NaN compares
+// false against everything, so without this gate a NaN point would be
+// "never dominated" and land on the frontier by comparison accident.
+func (a ParetoPoint) valid() bool {
+	return !math.IsNaN(a.Power) && !math.IsNaN(a.WorstSlack)
+}
+
 // ParetoMask marks the non-dominated members of a candidate set: mask[i] is
 // true iff no other point dominates point i. Duplicate objective vectors are
 // all kept (none dominates its twin), so every config that achieves a
-// frontier trade-off is reported. The mask is deterministic in the input
-// order alone.
+// frontier trade-off is reported. A point with a NaN objective is
+// always-dominated by definition — it never joins the frontier and never
+// knocks another point off it. The mask is deterministic in the input order
+// alone.
 func ParetoMask(pts []ParetoPoint) []bool {
 	mask := make([]bool, len(pts))
 	for i, p := range pts {
+		if !p.valid() {
+			continue // NaN objectives: always dominated, never on the frontier
+		}
 		mask[i] = true
 		for j, q := range pts {
 			if i != j && q.dominates(p) {

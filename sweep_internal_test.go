@@ -3,6 +3,7 @@ package dualvdd
 import (
 	"context"
 	"fmt"
+	"reflect"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -133,7 +134,7 @@ func TestMergeDefaults(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			if got := mergeDefaults(tc.base); got != tc.want {
+			if got := mergeDefaults(tc.base); !reflect.DeepEqual(got, tc.want) {
 				t.Fatalf("mergeDefaults(%+v)\n got %+v\nwant %+v", tc.base, got, tc.want)
 			}
 		})
@@ -167,5 +168,21 @@ func TestSweepPointsPartialBase(t *testing.T) {
 		if err := p.Config.Validate(); err != nil {
 			t.Fatalf("point %d: %v", i, err)
 		}
+	}
+}
+
+// TestSweepCircuitLabelAt pins the inline-model label fix: every inline BLIF
+// circuit gets its positional name, so two inline models never collide in
+// events, errors, or table output. Benchmarks keep their real names.
+func TestSweepCircuitLabelAt(t *testing.T) {
+	if got := (SweepCircuit{Benchmark: "C880"}).labelAt(3); got != "C880" {
+		t.Fatalf("benchmark label = %q", got)
+	}
+	blif := SweepCircuit{BLIF: ".model t\n.end\n"}
+	if got := blif.labelAt(0); got != "blif#0" {
+		t.Fatalf("inline label 0 = %q", got)
+	}
+	if got := blif.labelAt(7); got != "blif#7" {
+		t.Fatalf("inline label 7 = %q", got)
 	}
 }

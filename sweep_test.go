@@ -6,9 +6,11 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"reflect"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 
@@ -99,7 +101,7 @@ func TestSweepPointsDefaultsAndBase(t *testing.T) {
 	if len(points) != 1 {
 		t.Fatalf("zero-axes sweep expanded to %d points", len(points))
 	}
-	if points[0].Config != dualvdd.DefaultConfig() {
+	if !reflect.DeepEqual(points[0].Config, dualvdd.DefaultConfig()) {
 		t.Fatalf("zero base did not default: %+v", points[0].Config)
 	}
 	if !reflect.DeepEqual(points[0].Algorithms, dualvdd.Algorithms()) {
@@ -424,5 +426,54 @@ func TestParetoMask(t *testing.T) {
 	}
 	if len(dualvdd.ParetoMask(nil)) != 0 {
 		t.Fatal("empty mask not empty")
+	}
+}
+
+// TestParetoMaskNaN pins the NaN dominance rule: IEEE comparisons with NaN
+// are all false, so a NaN-slack point used to survive every dominance check
+// and sit on the frontier forever. A NaN objective is now always dominated —
+// the point is excluded — and, equally important, it must not knock out any
+// finite point.
+func TestParetoMaskNaN(t *testing.T) {
+	nan := math.NaN()
+	pts := []dualvdd.ParetoPoint{
+		{Power: 10, WorstSlack: nan, LCs: 0},  // NaN slack: excluded despite least power
+		{Power: 12, WorstSlack: 0.9, LCs: 0},  // frontier
+		{Power: nan, WorstSlack: 0.9, LCs: 0}, // NaN power: excluded
+		{Power: 13, WorstSlack: 0.4, LCs: 0},  // dominated by 1 (finite points still compete)
+		{Power: nan, WorstSlack: nan, LCs: 0}, // doubly NaN: excluded
+	}
+	want := []bool{false, true, false, false, false}
+	if got := dualvdd.ParetoMask(pts); !reflect.DeepEqual(got, want) {
+		t.Fatalf("mask %v, want %v", got, want)
+	}
+	// All-NaN input: nothing on the frontier, not "everything".
+	all := []dualvdd.ParetoPoint{{Power: nan, WorstSlack: nan}, {Power: nan, WorstSlack: nan}}
+	if got := dualvdd.ParetoMask(all); !reflect.DeepEqual(got, []bool{false, false}) {
+		t.Fatalf("all-NaN mask %v, want [false false]", got)
+	}
+}
+
+// TestSweepInlineCircuitLabels pins the blif#<index> disambiguation: a sweep
+// over two inline models (which may even share a .model name) must report
+// distinct circuit labels in its error messages, not "blif" for both.
+func TestSweepInlineCircuitLabels(t *testing.T) {
+	ctx := context.Background()
+	l := dualvdd.NewLocal(dualvdd.LocalWorkers(1))
+	defer mustClose(t, l)
+	s := dualvdd.Sweep{
+		Circuits: []dualvdd.SweepCircuit{
+			{BLIF: ".model t\n.inputs a b\n.outputs f\n.names a b f\n11 1\n.end\n"},
+			{BLIF: ".model t\n.inputs a\n.outputs f\n.names ghost f\n1 1\n.end\n"}, // invalid: undefined signal
+		},
+		Algorithms: []dualvdd.Algorithm{dualvdd.AlgoCVS},
+		// One point per circuit; the second fails to parse and names itself.
+	}
+	_, err := s.Run(ctx, l, dualvdd.SweepInFlight(1))
+	if err == nil {
+		t.Fatal("sweep over an invalid inline model succeeded")
+	}
+	if !strings.Contains(err.Error(), "blif#1") {
+		t.Fatalf("error does not carry the positional inline label: %v", err)
 	}
 }

@@ -87,24 +87,26 @@ func (w *WarmDesign) Runs() int64 {
 	return w.runs
 }
 
-// RunAt executes the given algorithms (all three when empty) at low rail
-// vlow, reusing the shared prepared state. Per algorithm it checkpoints the
+// RunAt executes the given algorithms (all three when empty) at the given
+// rail vector — [vhigh, vlow] for the classic pair, any longer descending
+// list for multi-rail scaling; rails[0] must equal the prepared design's high
+// rail — reusing the shared prepared state. Per algorithm it checkpoints the
 // engine, runs with the journal intact and the baseline activity table, reads
 // the final power from the table, and rolls the working circuit back to the
 // all-VHigh baseline — no mapping, no simulation, no full analysis. Results
-// are bit-identical to Design.RunAlgorithm at the same vlow, with two
+// are bit-identical to Design.RunAlgorithm at the same rails, with two
 // deliberate exceptions: Runtime/SimTime measure the (much smaller) warm work,
 // and Circuit is nil — the working clone is rolled back, so there is no scaled
 // netlist to hand out. A cancelled context aborts within one algorithm
 // iteration with ctx.Err(); the baseline is restored before returning, so the
 // WarmDesign stays valid for further points.
-func (w *WarmDesign) RunAt(ctx context.Context, vlow float64, algos []Algorithm, obs Observer) ([]*FlowResult, error) {
+func (w *WarmDesign) RunAt(ctx context.Context, rails []float64, algos []Algorithm, obs Observer) ([]*FlowResult, error) {
 	if len(algos) == 0 {
 		algos = Algorithms()
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	lib, err := w.Design.Lib.AtVlow(vlow)
+	lib, err := w.Design.Lib.AtRails(rails)
 	if err != nil {
 		return nil, fmt.Errorf("dualvdd: warm run on %s: %w", w.Design.Name, err)
 	}
@@ -200,6 +202,7 @@ func (w *WarmDesign) runOne(ctx context.Context, algo Algorithm, obs Observer) (
 	if gates > 0 {
 		fr.LowRatio = float64(fr.LowGates) / float64(gates)
 	}
+	railBreakdown(fr, w.work, lib)
 	w.runs++
 	obs.emit(EventResult{Circuit: d.Name, Result: fr})
 	return fr, nil
@@ -210,14 +213,18 @@ func (w *WarmDesign) runOne(ctx context.Context, algo Algorithm, obs Observer) (
 // and the Config with Vlow and SimWorkers zeroed — the mapping, the timing
 // constraint, the activity table and the original power are all properties of
 // the circuit under the high rail, never of the low one (the library is
-// retargeted per point via AtVlow), and SimWorkers is a pure scheduling knob.
+// retargeted per point via AtRails), and SimWorkers is a pure scheduling knob.
 // The algorithm list is excluded too: one prepared state serves any algorithm.
+// The config is hashed in canonical form, so a two-entry Rails groups exactly
+// like the legacy pair; a longer Rails list stays in the address — multi-rail
+// points share prepared state (and fleet placement) only with points on the
+// same rail table.
 func warmPrepKey(net *logic.Network, cfg Config) (string, error) {
 	var canon bytes.Buffer
 	if err := blif.WriteNetwork(&canon, net); err != nil {
 		return "", err
 	}
-	hashCfg := cfg
+	hashCfg := cfg.Normalized()
 	hashCfg.Vlow = 0
 	hashCfg.SimWorkers = 0
 	b, err := json.Marshal(hashCfg)

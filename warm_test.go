@@ -73,7 +73,7 @@ func TestWarmMatchesColdAcrossPoints(t *testing.T) {
 
 	warm := make(map[float64][]*dualvdd.FlowResult)
 	for _, vlow := range vlows {
-		res, err := wd.RunAt(ctx, vlow, nil, nil)
+		res, err := wd.RunAt(ctx, []float64{5.0, vlow}, nil, nil)
 		if err != nil {
 			t.Fatalf("warm run at %.1f: %v", vlow, err)
 		}
@@ -115,11 +115,11 @@ func TestWarmCancelRestoresBaseline(t *testing.T) {
 	}
 	cancelled, cancel := context.WithCancel(ctx)
 	cancel()
-	if _, err := wd.RunAt(cancelled, 4.3, nil, nil); err == nil {
+	if _, err := wd.RunAt(cancelled, []float64{5.0, 4.3}, nil, nil); err == nil {
 		t.Fatal("cancelled run succeeded")
 	}
 
-	res, err := wd.RunAt(ctx, 4.3, []dualvdd.Algorithm{dualvdd.AlgoDscale}, nil)
+	res, err := wd.RunAt(ctx, []float64{5.0, 4.3}, []dualvdd.Algorithm{dualvdd.AlgoDscale}, nil)
 	if err != nil {
 		t.Fatalf("run after cancel: %v", err)
 	}
